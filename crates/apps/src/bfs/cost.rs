@@ -1,0 +1,90 @@
+//! The BFS GPU-kernel time model.
+//!
+//! Calibrated so that the single-GPU traversal of a scale-20, edgefactor
+//! 16 R-MAT graph lands on Table IV's 6.7 × 10⁷ TEPS (Cluster I Fermi
+//! C2050). The level-synchronous kernel cost is linear in the edges
+//! scanned, plus a per-level launch/sync overhead and a small per-pair
+//! cost for integrating remotely discovered vertices.
+
+use apenet_sim::SimDuration;
+
+/// BFS kernel cost model.
+#[derive(Debug, Clone)]
+pub struct BfsCost {
+    /// Cost per directed edge scanned, picoseconds.
+    pub per_edge_ps: u64,
+    /// Per-level fixed cost (kernel launches, frontier compaction, sync).
+    pub per_level: SimDuration,
+    /// Per received candidate pair (dedup + frontier insert), picoseconds.
+    pub per_pair_ps: u64,
+    /// Relative GPU speed (1.0 = Cluster I C2050).
+    pub derate: f64,
+}
+
+impl Default for BfsCost {
+    fn default() -> Self {
+        BfsCost {
+            per_edge_ps: 7200,
+            per_level: SimDuration::from_us(35),
+            per_pair_ps: 3200,
+            derate: 1.0,
+        }
+    }
+}
+
+impl BfsCost {
+    /// The Cluster II flavour used by the paper's InfiniBand runs (the
+    /// S2075 modules clock slightly lower than the C2050 cards, matching
+    /// the 6.2 vs 6.7 × 10⁷ single-GPU TEPS of Table IV).
+    pub fn cluster_ii() -> Self {
+        BfsCost {
+            derate: 6.2 / 6.7,
+            ..Self::default()
+        }
+    }
+
+    /// Kernel duration for one level.
+    pub fn level_kernel(&self, edges_scanned: u64, pairs_in: u64) -> SimDuration {
+        let ps = (edges_scanned as f64 * self.per_edge_ps as f64
+            + pairs_in as f64 * self.per_pair_ps as f64)
+            / self.derate;
+        self.per_level + SimDuration::from_ps(ps.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_edges() {
+        let c = BfsCost::default();
+        let a = c.level_kernel(1000, 0);
+        let b = c.level_kernel(2000, 0);
+        assert!(b > a);
+        assert_eq!(
+            (b - c.per_level).as_ps(),
+            2 * (a - c.per_level).as_ps()
+        );
+    }
+
+    #[test]
+    fn derate_slows() {
+        let fast = BfsCost::default();
+        let slow = BfsCost::cluster_ii();
+        assert!(slow.level_kernel(1 << 20, 0) > fast.level_kernel(1 << 20, 0));
+    }
+
+    #[test]
+    fn single_gpu_teps_anchor() {
+        // Scale-20/ef-16 R-MAT: ≈ 2 × 15.9M directed scans over ≈ 8
+        // levels; the model must land near 6.7e7 TEPS.
+        let c = BfsCost::default();
+        let undirected = 15_900_000u64;
+        let scans = 2 * undirected;
+        let levels = 8;
+        let total = c.level_kernel(scans, 0).as_ps() + (levels - 1) * c.per_level.as_ps();
+        let teps = undirected as f64 / (total as f64 * 1e-12);
+        assert!((6.2e7..7.2e7).contains(&teps), "{teps:.3e}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Sequential reference BFS and the result validator.
+
+use crate::bfs::csr::Csr;
+use std::collections::VecDeque;
+
+/// BFS output: level (−1 = unreached) and parent (−1 = unreached/root’s
+/// parent is itself, graph500 style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsTree {
+    /// Per-vertex level.
+    pub level: Vec<i32>,
+    /// Per-vertex parent.
+    pub parent: Vec<i64>,
+}
+
+/// Textbook queue BFS.
+pub fn bfs(g: &Csr, root: u32) -> BfsTree {
+    let n = g.n();
+    let mut level = vec![-1i32; n];
+    let mut parent = vec![-1i64; n];
+    level[root as usize] = 0;
+    parent[root as usize] = root as i64;
+    let mut q = VecDeque::new();
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        for &v in g.neighbors(u) {
+            if level[v as usize] < 0 {
+                level[v as usize] = level[u as usize] + 1;
+                parent[v as usize] = u as i64;
+                q.push_back(v);
+            }
+        }
+    }
+    BfsTree { level, parent }
+}
+
+/// Validate a BFS tree against the graph (graph500-style checks):
+/// * root has level 0 and itself as parent;
+/// * every reached vertex has a reached parent one level shallower and an
+///   actual edge to it;
+/// * reachability matches `reference` exactly.
+pub fn validate(g: &Csr, root: u32, tree: &BfsTree, reference: &BfsTree) -> Result<(), String> {
+    let n = g.n();
+    if tree.level.len() != n || tree.parent.len() != n {
+        return Err("wrong output size".into());
+    }
+    if tree.level[root as usize] != 0 || tree.parent[root as usize] != root as i64 {
+        return Err("bad root".into());
+    }
+    for v in 0..n as u32 {
+        let lv = tree.level[v as usize];
+        if lv != reference.level[v as usize] {
+            return Err(format!(
+                "vertex {v}: level {lv} != reference {}",
+                reference.level[v as usize]
+            ));
+        }
+        if lv < 0 {
+            continue;
+        }
+        if v == root {
+            continue;
+        }
+        let p = tree.parent[v as usize];
+        if p < 0 {
+            return Err(format!("reached vertex {v} has no parent"));
+        }
+        let p = p as u32;
+        if tree.level[p as usize] != lv - 1 {
+            return Err(format!("vertex {v}: parent {p} not one level up"));
+        }
+        if !g.has_edge(v, p) {
+            return Err(format!("vertex {v}: no edge to parent {p}"));
+        }
+    }
+    Ok(())
+}
+
+/// Edges in the traversed component, the TEPS numerator: the graph500
+/// metric counts each undirected input edge whose endpoints were reached.
+pub fn traversed_edges(g: &Csr, tree: &BfsTree) -> u64 {
+    let mut scanned = 0u64;
+    for v in 0..g.n() as u32 {
+        if tree.level[v as usize] >= 0 {
+            scanned += g.degree(v);
+        }
+    }
+    scanned / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::rmat;
+
+    #[test]
+    fn line_graph_levels() {
+        let g = Csr::build(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let t = bfs(&g, 0);
+        assert_eq!(t.level, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.parent[4], 3);
+        validate(&g, 0, &t, &t).unwrap();
+        assert_eq!(traversed_edges(&g, &t), 4);
+    }
+
+    #[test]
+    fn disconnected_component_unreached() {
+        let g = Csr::build(4, &[(0, 1), (2, 3)]);
+        let t = bfs(&g, 0);
+        assert_eq!(t.level[2], -1);
+        assert_eq!(t.parent[3], -1);
+        assert_eq!(traversed_edges(&g, &t), 1);
+        validate(&g, 0, &t, &t).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_corruption() {
+        let g = Csr::build(4, &[(0, 1), (1, 2), (2, 3)]);
+        let good = bfs(&g, 0);
+        let mut bad = good.clone();
+        bad.level[3] = 1;
+        assert!(validate(&g, 0, &bad, &good).is_err());
+        let mut bad2 = good.clone();
+        bad2.parent[2] = 0; // not an edge... (0,2) absent
+        assert!(validate(&g, 0, &bad2, &good).is_err());
+    }
+
+    #[test]
+    fn rmat_bfs_validates() {
+        let edges = rmat::generate(10, 16, 42);
+        let g = Csr::build(1 << 10, &edges);
+        let t = bfs(&g, 0);
+        validate(&g, 0, &t, &t).unwrap();
+        assert!(traversed_edges(&g, &t) > 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! The HSG GPU-kernel time model.
+//!
+//! Calibrated against the paper's single-GPU anchors (§V.D):
+//! * L = 256 on one C2050: 921 ps per spin update;
+//! * L = 512 on one C2070 (barely fits its 6 GB): 1471 ps per spin —
+//!   "though in this case with low efficiency";
+//! * the strong-scaling rows of Table II imply mild cache gains as the
+//!   resident sub-lattice shrinks (416 ps/global-spin at NP = 2 instead
+//!   of the ideal 460).
+//!
+//! The model is a piecewise-linear per-spin cost in the *resident* site
+//! count — the "strong GPU cache effects" that give the super-linear
+//! L = 512 speed-up of Fig. 11.
+
+use apenet_sim::SimDuration;
+
+/// Per-spin-update kernel cost model.
+#[derive(Debug, Clone)]
+pub struct HsgCost {
+    /// `(resident_sites, ps_per_spin)` anchors, ascending.
+    pub anchors: Vec<(f64, f64)>,
+    /// Kernel launch overhead.
+    pub launch: SimDuration,
+    /// Relative speed of the GPU (1.0 = C2050).
+    pub compute_factor: f64,
+}
+
+impl Default for HsgCost {
+    fn default() -> Self {
+        HsgCost {
+            anchors: vec![
+                (1.0e6, 790.0),
+                (4.2e6, 808.0),
+                (8.4e6, 830.0),
+                (16.8e6, 921.0),   // 256^3 resident: the 921 ps anchor
+                (33.6e6, 1030.0),
+                (67.1e6, 1220.0),
+                (134.2e6, 1471.0), // 512^3 resident: the 1471 ps anchor
+            ],
+            launch: SimDuration::from_us(6),
+            compute_factor: 1.0,
+        }
+    }
+}
+
+impl HsgCost {
+    /// Per-spin cost in picoseconds for a rank holding `resident` sites.
+    pub fn ps_per_spin(&self, resident: u64) -> f64 {
+        let r = resident as f64;
+        let a = &self.anchors;
+        if r <= a[0].0 {
+            return a[0].1 / self.compute_factor;
+        }
+        for w in a.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if r <= x1 {
+                let f = (r - x0) / (x1 - x0);
+                return (y0 + f * (y1 - y0)) / self.compute_factor;
+            }
+        }
+        a.last().unwrap().1 / self.compute_factor
+    }
+
+    /// Kernel duration for updating `spins` sites on a rank holding
+    /// `resident` sites.
+    pub fn kernel(&self, spins: u64, resident: u64) -> SimDuration {
+        let ps = (spins as f64 * self.ps_per_spin(resident)).round() as u64;
+        self.launch + SimDuration::from_ps(ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_paper_numbers() {
+        let c = HsgCost::default();
+        assert!((c.ps_per_spin(16_800_000) - 921.0).abs() < 1.0);
+        assert!((c.ps_per_spin(134_200_000) - 1471.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn np2_resident_cost_matches_table2() {
+        // NP = 2 at L = 256: resident 8.4M sites; Ttot = 416 ps/global
+        // spin implies 832 ps per local spin.
+        let c = HsgCost::default();
+        let got = c.ps_per_spin(256 * 256 * 128);
+        assert!((820.0..845.0).contains(&got), "{got}");
+    }
+
+    #[test]
+    fn monotone_in_resident_size() {
+        let c = HsgCost::default();
+        let mut prev = 0.0;
+        for r in [1u64 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 27] {
+            let v = c.ps_per_spin(r);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn kernel_scales_with_spins() {
+        let c = HsgCost::default();
+        let k1 = c.kernel(1 << 20, 1 << 24);
+        let k2 = c.kernel(1 << 21, 1 << 24);
+        assert!(k2 > k1);
+        assert!(k1 >= c.launch);
+    }
+
+    #[test]
+    fn faster_gpu_shrinks_kernels() {
+        let slow = HsgCost::default();
+        let fast = HsgCost { compute_factor: 1.8, ..HsgCost::default() };
+        assert!(fast.ps_per_spin(1 << 24) < slow.ps_per_spin(1 << 24));
+    }
+}

@@ -1,0 +1,9 @@
+//! Over-relaxation in the 3D Heisenberg spin glass.
+
+pub mod cost;
+pub mod lattice;
+pub mod run;
+
+pub use cost::HsgCost;
+pub use lattice::{Slab, SpinLattice};
+pub use run::{run_apenet, run_ib, HsgConfig, HsgResult, P2pMode};

@@ -1,0 +1,20 @@
+//! # apenet-apps — the paper's two multi-GPU applications
+//!
+//! * [`hsg`] — over-relaxation in the 3D Heisenberg spin glass (§V.D):
+//!   a real lattice simulation (checkerboard over-relaxation conserves
+//!   energy exactly — the model's strongest correctness invariant) with
+//!   1-D slab decomposition, boundary/bulk overlap on two CUDA streams,
+//!   and halo exchange over APEnet+ (P2P = OFF / RX / ON) or the
+//!   InfiniBand/MPI baseline;
+//! * [`bfs`] — distributed level-synchronous BFS on graph500-style R-MAT
+//!   graphs (§V.E): real traversal with 1-D vertex partitioning and
+//!   all-to-all frontier exchange, validated against a sequential
+//!   reference, reported in TEPS.
+//!
+//! Both applications run their *algorithms* for real — bytes cross the
+//! simulated fabric and land in simulated GPU memory — while their GPU
+//! *kernel durations* come from cost models calibrated against the
+//! paper's single-GPU numbers (DESIGN.md documents every constant).
+
+pub mod bfs;
+pub mod hsg;

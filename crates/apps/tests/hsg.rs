@@ -1,0 +1,118 @@
+//! End-to-end HSG tests: physics correctness through the full simulated
+//! stack, plus Table II / Table III shape checks.
+
+use apenet_apps::hsg::{run_apenet, run_ib, HsgConfig, P2pMode};
+use apenet_ib::IbConfig;
+
+#[test]
+fn distributed_matches_sequential_bitwise() {
+    // The checkerboard schedule makes same-colour updates order
+    // independent, so the distributed run must produce *bit-identical*
+    // spins to the single-rank run — through packing, RDMA PUT, torus
+    // transfer and unpacking.
+    let seq = run_apenet(&HsgConfig::small(8, 1, P2pMode::On));
+    let np2 = run_apenet(&HsgConfig::small(8, 2, P2pMode::On));
+    let np4 = run_apenet(&HsgConfig::small(8, 4, P2pMode::On));
+    assert_eq!(seq.checksum, np2.checksum, "np=2 diverged");
+    assert_eq!(seq.checksum, np4.checksum, "np=4 diverged");
+}
+
+#[test]
+fn staged_modes_compute_identically() {
+    let on = run_apenet(&HsgConfig::small(8, 2, P2pMode::On));
+    let rx = run_apenet(&HsgConfig::small(8, 2, P2pMode::Rx));
+    let off = run_apenet(&HsgConfig::small(8, 2, P2pMode::Off));
+    assert_eq!(on.checksum, rx.checksum);
+    assert_eq!(on.checksum, off.checksum);
+}
+
+#[test]
+fn energy_conserved_through_network() {
+    let r = run_apenet(&HsgConfig::small(16, 4, P2pMode::On));
+    let rel = (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1.0);
+    assert!(rel < 1e-3, "energy drift {rel}: {} -> {}", r.energy_initial, r.energy_final);
+    assert!(r.energy_initial != 0.0);
+}
+
+#[test]
+fn ib_reference_matches_physics_too() {
+    let ape = run_apenet(&HsgConfig::small(8, 2, P2pMode::On));
+    let ib = run_ib(&HsgConfig::small(8, 2, P2pMode::On), IbConfig::cluster_ii());
+    assert_eq!(ape.checksum, ib.checksum, "transport must not change physics");
+}
+
+#[test]
+fn table2_strong_scaling_shape() {
+    // L = 256 timing-only; Table II: Ttot = 921/416/202/148 ps.
+    let t: Vec<f64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&np| run_apenet(&HsgConfig::paper(256, np, P2pMode::On)).ttot_ps)
+        .collect();
+    assert!((870.0..970.0).contains(&t[0]), "NP=1 Ttot {} (paper 921)", t[0]);
+    assert!((380.0..460.0).contains(&t[1]), "NP=2 Ttot {} (paper 416)", t[1]);
+    assert!((185.0..230.0).contains(&t[2]), "NP=4 Ttot {} (paper 202)", t[2]);
+    // The naive ring-on-torus embedding degrades NP = 8 (paper: 148,
+    // i.e. well off the ideal ~110; the convoy effect is stronger in the
+    // model — see EXPERIMENTS.md and the snake-embedding ablation).
+    assert!((120.0..200.0).contains(&t[3]), "NP=8 Ttot {} (paper 148)", t[3]);
+}
+
+#[test]
+fn table3_p2p_modes_ordering() {
+    // Table III (L=256, NP=2): Tnet = 97 (ON), 91 (RX), 114 (OFF).
+    let on = run_apenet(&HsgConfig::paper(256, 2, P2pMode::On));
+    let rx = run_apenet(&HsgConfig::paper(256, 2, P2pMode::Rx));
+    let off = run_apenet(&HsgConfig::paper(256, 2, P2pMode::Off));
+    assert!(
+        off.tnet_ps > on.tnet_ps,
+        "staging must cost more: off {} vs on {}",
+        off.tnet_ps,
+        on.tnet_ps
+    );
+    assert!((80.0..115.0).contains(&on.tnet_ps), "Tnet ON {} (paper 97)", on.tnet_ps);
+    assert!((100.0..135.0).contains(&off.tnet_ps), "Tnet OFF {} (paper 114)", off.tnet_ps);
+    // RX-only staging is competitive (the paper even saw it beat full
+    // P2P at 91 ps; in the model the staged-TX pipeline head leaves it
+    // between ON and OFF — see EXPERIMENTS.md).
+    assert!(rx.tnet_ps < off.tnet_ps * 1.06, "rx {} vs off {}", rx.tnet_ps, off.tnet_ps);
+    assert!(rx.tnet_ps > on.tnet_ps * 0.9);
+    // Ttot at NP=2: bulk hides communication (paper: 416 for all modes).
+    for r in [&on, &rx, &off] {
+        assert!((380.0..470.0).contains(&r.ttot_ps), "Ttot {} (paper 416)", r.ttot_ps);
+    }
+}
+
+#[test]
+fn fig11_superlinear_at_512() {
+    // L = 512 does not fit one GPU efficiently (1471 ps/spin); at NP = 8
+    // the slabs are 256³-resident again → super-linear speed-up.
+    let t1 = run_apenet(&HsgConfig::paper(512, 1, P2pMode::On)).ttot_ps;
+    let t8 = run_apenet(&HsgConfig::paper(512, 8, P2pMode::On)).ttot_ps;
+    let speedup = t1 / t8;
+    assert!((1400.0..1550.0).contains(&t1), "NP=1 Ttot {t1} (paper 1471)");
+    assert!(speedup > 8.0, "super-linear expected, got {speedup}");
+    assert!(speedup < 14.0, "speed-up {speedup} beyond plausible");
+}
+
+#[test]
+fn fig11_l128_stops_scaling() {
+    let t1 = run_apenet(&HsgConfig::paper(128, 1, P2pMode::On)).ttot_ps;
+    let t2 = run_apenet(&HsgConfig::paper(128, 2, P2pMode::On)).ttot_ps;
+    let t8 = run_apenet(&HsgConfig::paper(128, 8, P2pMode::On)).ttot_ps;
+    let s2 = t1 / t2;
+    let s8 = t1 / t8;
+    assert!(s2 > 1.6, "L=128 still scales to 2 nodes ({s2})");
+    assert!(s8 < 6.0, "L=128 must fall off the ideal line at 8 ({s8})");
+}
+
+#[test]
+fn ablation_snake_embedding_fixes_np8() {
+    // Every ring hop adjacent on the torus → NP = 8 returns to the
+    // bulk-bound ideal; the naive embedding's 2-hop seams cost ~60%.
+    let naive = run_apenet(&HsgConfig::paper(256, 8, P2pMode::On));
+    let mut cfg = HsgConfig::paper(256, 8, P2pMode::On);
+    cfg.snake = true;
+    let snake = run_apenet(&cfg);
+    assert!(snake.ttot_ps < naive.ttot_ps * 0.75, "snake {} vs naive {}", snake.ttot_ps, naive.ttot_ps);
+    assert!((95.0..130.0).contains(&snake.ttot_ps), "snake Ttot {}", snake.ttot_ps);
+}

@@ -1,0 +1,54 @@
+//! Criterion benches for the application kernels (the real algorithm
+//! code whose wall-clock cost dominates large reproduction runs).
+
+use apenet_apps::bfs::csr::Csr;
+use apenet_apps::bfs::dist::{Partition, RankState};
+use apenet_apps::bfs::{rmat, seq};
+use apenet_apps::hsg::lattice::Slab;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hsg");
+    let l = 32;
+    g.throughput(Throughput::Elements((l * l * l / 2) as u64));
+    g.bench_function("overrelax_sweep_32cubed", |b| {
+        let mut lat = Slab::full(l, 1);
+        lat.wrap_ghosts();
+        b.iter(|| {
+            lat.update_color(0, 1, l);
+            lat.wrap_ghosts();
+            lat.update_color(1, 1, l);
+            lat.wrap_ghosts();
+        })
+    });
+    g.bench_function("pack_plane_32", |b| {
+        let lat = Slab::full(l, 1);
+        b.iter(|| lat.pack_plane(1, 0))
+    });
+    g.bench_function("energy_32cubed", |b| {
+        let lat = Slab::full(l, 1);
+        b.iter(|| lat.owned_energy())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("bfs");
+    g.sample_size(20);
+    let edges = rmat::generate(14, 16, 3);
+    let graph = Csr::build(1 << 14, &edges);
+    g.bench_function("rmat_scale14_generate", |b| {
+        b.iter(|| rmat::generate(14, 16, 3).len())
+    });
+    g.bench_function("csr_build_scale14", |b| b.iter(|| Csr::build(1 << 14, &edges).n()));
+    g.bench_function("sequential_bfs_scale14", |b| b.iter(|| seq::bfs(&graph, 1).level[100]));
+    g.bench_function("level_expand_scale14", |b| {
+        b.iter(|| {
+            let part = Partition { n: graph.n(), np: 4 };
+            let mut r = RankState::new(0, part, 1);
+            r.expand(&graph, 1).edges_scanned
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

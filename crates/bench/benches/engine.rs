@@ -1,0 +1,71 @@
+//! Criterion benches for the DES engine and its primitive data types.
+
+use apenet_sim::engine::{Actor, Ctx, Sim};
+use apenet_sim::rng::Xoshiro256ss;
+use apenet_sim::{Bandwidth, ByteFifo, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+struct Relay {
+    peer: usize,
+}
+
+impl Actor<u64> for Relay {
+    fn on_event(&mut self, ev: u64, ctx: &mut Ctx<'_, u64>) {
+        if ev > 0 {
+            ctx.send(self.peer, SimDuration::from_ns(10), ev - 1);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("dispatch_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: Sim<u64> = Sim::new();
+                let a = sim.add_actor(Box::new(Relay { peer: 1 }));
+                let bb = sim.add_actor(Box::new(Relay { peer: a }));
+                sim.send(bb, SimTime::ZERO, 100_000);
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                sim.events_processed()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("primitives");
+    g.bench_function("bandwidth_time_for", |b| {
+        let bw = Bandwidth::from_mb_per_sec(1536);
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            bw.time_for(4096 + (n & 1023)).as_ps()
+        })
+    });
+    g.bench_function("fifo_push_pop_64", |b| {
+        let mut fifo: ByteFifo<u32> = ByteFifo::with_default_watermark(1 << 20);
+        b.iter(|| {
+            for i in 0..64u32 {
+                fifo.push(4096, i).unwrap();
+            }
+            let mut acc = 0u64;
+            while let Some((bytes, _)) = fifo.pop() {
+                acc += bytes;
+            }
+            acc
+        })
+    });
+    g.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = Xoshiro256ss::seed_from(7);
+        b.iter(|| rng.next_u64())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the hardware-model hot paths: PCIe streams,
+//! page-table walks, BUF_LIST scans, torus routing and full two-node
+//! transfers.
+
+use apenet_cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
+use apenet_cluster::presets::cluster_i_default;
+use apenet_core::coord::{Coord, TorusDims};
+use apenet_core::nios::{BufEntry, BufKind, BufList, GpuV2p, PageDesc};
+use apenet_pcie::fabric::plx_platform;
+use apenet_pcie::TlpKind;
+use apenet_sim::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcie");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("stream_64k_over_plx", |b| {
+        let (mut fabric, gpu, nic, _) = plx_platform();
+        b.iter(|| {
+            fabric.reset();
+            fabric
+                .send_stream(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 64 * 1024, 256)
+                .arrive
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("firmware");
+    g.bench_function("gpu_v2p_walk", |b| {
+        let mut pt = GpuV2p::new();
+        for p in 0..1024u64 {
+            pt.insert(p * 65536, PageDesc { phys: p * 65536, token: 1 });
+        }
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 65536) % (1024 * 65536);
+            pt.walk(addr).0
+        })
+    });
+    g.bench_function("buflist_scan_64_entries", |b| {
+        let mut bl = BufList::new();
+        for i in 0..64u64 {
+            bl.register(BufEntry {
+                vaddr: i << 20,
+                len: 1 << 20,
+                kind: BufKind::Host,
+                pid: 1,
+            });
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            bl.lookup(i << 20, 64).0
+        })
+    });
+    g.bench_function("torus_route_4x2", |b| {
+        let dims = TorusDims::new(4, 2, 1);
+        b.iter(|| {
+            let mut hops = 0u32;
+            for a in 0..8 {
+                for z in 0..8 {
+                    let (mut at, dst) = (dims.coord_of(a), dims.coord_of(z));
+                    while let Some(h) = dims.next_hop(at, dst) {
+                        at = dims.neighbor(at, h);
+                        hops += 1;
+                    }
+                }
+            }
+            hops
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("two_node_gg_64k_x4", |b| {
+        b.iter(|| {
+            two_node_bandwidth(
+                cluster_i_default(),
+                TwoNodeParams {
+                    src: BufSide::Gpu,
+                    dst: BufSide::Gpu,
+                    size: 64 * 1024,
+                    count: 4,
+                    staged: false,
+                },
+            )
+            .bandwidth
+        })
+    });
+    g.finish();
+    let _ = Coord::new(0, 0, 0);
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

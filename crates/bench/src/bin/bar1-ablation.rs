@@ -1,0 +1,5 @@
+//! Extension ablation: P2P vs BAR1 GPU reads through the card.
+
+fn main() {
+    apenet_bench::figs::bar1_ablation::run();
+}

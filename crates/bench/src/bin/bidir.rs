@@ -1,0 +1,5 @@
+//! Extension: two-node bi-directional bandwidth.
+
+fn main() {
+    apenet_bench::figs::bidir::run();
+}

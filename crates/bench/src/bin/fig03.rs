@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig03 (see `apenet_bench::figs::fig03`).
+
+fn main() {
+    apenet_bench::figs::fig03::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig04 (see `apenet_bench::figs::fig04`).
+
+fn main() {
+    apenet_bench::figs::fig04::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig05 (see `apenet_bench::figs::fig05`).
+
+fn main() {
+    apenet_bench::figs::fig05::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig06 (see `apenet_bench::figs::fig06`).
+
+fn main() {
+    apenet_bench::figs::fig06::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig07 (see `apenet_bench::figs::fig07`).
+
+fn main() {
+    apenet_bench::figs::fig07::run();
+}

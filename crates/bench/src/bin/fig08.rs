@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08 (see `apenet_bench::figs::fig08`).
+
+fn main() {
+    apenet_bench::figs::fig08::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 (see `apenet_bench::figs::fig09`).
+
+fn main() {
+    apenet_bench::figs::fig09::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 (see `apenet_bench::figs::fig10`).
+
+fn main() {
+    apenet_bench::figs::fig10::run();
+}

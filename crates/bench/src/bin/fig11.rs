@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 (see `apenet_bench::figs::fig11`).
+
+fn main() {
+    apenet_bench::figs::fig11::run();
+}

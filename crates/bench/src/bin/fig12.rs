@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 (see `apenet_bench::figs::fig12`).
+
+fn main() {
+    apenet_bench::figs::fig12::run();
+}

@@ -1,0 +1,40 @@
+//! Regenerate every table and figure into `results/`, running the
+//! independent deterministic simulations on a thread per experiment.
+
+use apenet_bench::figs;
+use std::time::Instant;
+
+fn main() {
+    let jobs: Vec<(&str, fn())> = vec![
+        ("fig03", figs::fig03::run),
+        ("table1", figs::table1::run),
+        ("fig04", figs::fig04::run),
+        ("fig05", figs::fig05::run),
+        ("fig06", figs::fig06::run),
+        ("fig07", figs::fig07::run),
+        ("fig08", figs::fig08::run),
+        ("fig09", figs::fig09::run),
+        ("fig10", figs::fig10::run),
+        ("table2", figs::table2::run),
+        ("table3", figs::table3::run),
+        ("fig11", figs::fig11::run),
+        ("table4", figs::table4::run),
+        ("fig12", figs::fig12::run),
+        ("bar1_ablation", figs::bar1_ablation::run),
+        ("bidir", figs::bidir::run),
+    ];
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (name, f) in jobs {
+            scope.spawn(move || {
+                let t = Instant::now();
+                f();
+                eprintln!("[repro-all] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+            });
+        }
+    });
+    eprintln!(
+        "[repro-all] all experiments regenerated in {:.1}s -> results/",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 (see `apenet_bench::figs::table1`).
+
+fn main() {
+    apenet_bench::figs::table1::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 (see `apenet_bench::figs::table2`).
+
+fn main() {
+    apenet_bench::figs::table2::run();
+}

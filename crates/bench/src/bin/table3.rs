@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 (see `apenet_bench::figs::table3`).
+
+fn main() {
+    apenet_bench::figs::table3::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 (see `apenet_bench::figs::table4`).
+
+fn main() {
+    apenet_bench::figs::table4::run();
+}

@@ -1,0 +1,41 @@
+//! Extension ablation (paper §VI, "On Kepler, the BAR1 technique seems
+//! more promising"): the card's GPU-read transport — GPUDirect P2P vs
+//! BAR1 aperture reads — across architectures and message sizes.
+
+use crate::{count_for, emit, sizes_4kb_4mb};
+use apenet_cluster::harness::{flush_read_bandwidth, BufSide};
+use apenet_cluster::presets::{plx_node, plx_node_bar1};
+use apenet_core::config::GpuTxVersion;
+use apenet_gpu::GpuArch;
+use apenet_sim::stats::{render_table, Series};
+
+/// Regenerate this experiment.
+pub fn run() {
+    let mut series = Vec::new();
+    for (label, arch, bar1) in [
+        ("Fermi P2P", GpuArch::Fermi2050, false),
+        ("Fermi BAR1", GpuArch::Fermi2050, true),
+        ("Kepler P2P", GpuArch::KeplerK20, false),
+        ("Kepler BAR1", GpuArch::KeplerK20, true),
+    ] {
+        let mut s = Series::new(label);
+        for size in sizes_4kb_4mb() {
+            let cfg = if bar1 {
+                plx_node_bar1(arch, 128 * 1024)
+            } else {
+                plx_node(arch, GpuTxVersion::V3, 128 * 1024)
+            };
+            let r = flush_read_bandwidth(cfg, BufSide::Gpu, size, count_for(size));
+            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        }
+        series.push(s);
+    }
+    let mut out = String::from(
+        "# Ablation — GPU read transport through the card: P2P vs BAR1 aperture\n\
+         # (paper §VI: BAR1 is hopeless on Fermi, matches P2P on Kepler and needs\n\
+         #  only standard PCIe reads; the expensive one-time aperture mapping is\n\
+         #  amortized in these streams)\n",
+    );
+    out.push_str(&render_table(&series, "msg bytes", "MB/s"));
+    emit("bar1_ablation", &out);
+}

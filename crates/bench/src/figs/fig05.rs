@@ -1,0 +1,39 @@
+//! Fig. 5 — the Fig. 4 sweep through the full single-node loop-back path
+//! (G-G), where the Nios II serves both the GPU-TX control and the RX
+//! processing; the v3 offload's headroom shows up here.
+
+use crate::{count_for, emit, sizes_4kb_4mb};
+use apenet_cluster::harness::{loopback_bandwidth, BufSide};
+use apenet_cluster::presets::plx_node;
+use apenet_core::config::GpuTxVersion;
+use apenet_gpu::GpuArch;
+use apenet_sim::stats::{render_table, Series};
+
+/// Regenerate this experiment.
+pub fn run() {
+    let curves = vec![
+        ("v1", GpuTxVersion::V1, 4 * 1024u64),
+        ("v2 window=4KB", GpuTxVersion::V2, 4 * 1024),
+        ("v2 window=8KB", GpuTxVersion::V2, 8 * 1024),
+        ("v2 window=16KB", GpuTxVersion::V2, 16 * 1024),
+        ("v2 window=32KB", GpuTxVersion::V2, 32 * 1024),
+        ("v3 window=64KB", GpuTxVersion::V3, 64 * 1024),
+        ("v3 window=128KB", GpuTxVersion::V3, 128 * 1024),
+    ];
+    let mut series = Vec::new();
+    for (label, version, window) in curves {
+        let mut s = Series::new(label);
+        for size in sizes_4kb_4mb() {
+            let cfg = plx_node(GpuArch::Fermi2050, version, window);
+            let r = loopback_bandwidth(cfg, BufSide::Gpu, BufSide::Gpu, size, count_for(size));
+            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        }
+        series.push(s);
+    }
+    let mut out = String::from(
+        "# Fig. 5 — G-G loop-back bandwidth (paper: Nios II-limited ~1.1 GB/s peak;\n\
+         # v3's lighter TX control frees RX time-slices and tops the chart)\n",
+    );
+    out.push_str(&render_table(&series, "msg bytes", "MB/s"));
+    emit("fig05", &out);
+}

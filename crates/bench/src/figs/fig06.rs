@@ -1,0 +1,36 @@
+//! Fig. 6 — two-node uni-directional bandwidth for every combination of
+//! source and destination buffer type.
+
+use crate::{count_for, emit, sizes_32b_4mb};
+use apenet_cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
+use apenet_cluster::presets::cluster_i_default;
+use apenet_sim::stats::{render_table, Series};
+
+/// Regenerate this experiment.
+pub fn run() {
+    let combos = [
+        ("H-H", BufSide::Host, BufSide::Host),
+        ("H-G", BufSide::Host, BufSide::Gpu),
+        ("G-H", BufSide::Gpu, BufSide::Host),
+        ("G-G", BufSide::Gpu, BufSide::Gpu),
+    ];
+    let mut series = Vec::new();
+    for (label, src, dst) in combos {
+        let mut s = Series::new(label);
+        for size in sizes_32b_4mb() {
+            let r = two_node_bandwidth(
+                cluster_i_default(),
+                TwoNodeParams { src, dst, size, count: count_for(size), staged: false },
+            );
+            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        }
+        series.push(s);
+    }
+    let mut out = String::from(
+        "# Fig. 6 — two-node uni-directional bandwidth (paper: H-H plateaus at 1.2 GB/s,\n\
+         # GPU destinations pay ~10%, GPU sources are less steep and plateau beyond 32 KB;\n\
+         # at 8 KB the G-G bandwidth is about half of H-H)\n",
+    );
+    out.push_str(&render_table(&series, "msg bytes", "MB/s"));
+    emit("fig06", &out);
+}

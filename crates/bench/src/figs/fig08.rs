@@ -1,0 +1,32 @@
+//! Fig. 8 — APEnet+ latency (half round-trip) for every combination of
+//! source and destination buffer type.
+
+use crate::{emit, sizes_32b_4kb};
+use apenet_cluster::harness::{pingpong_half_rtt, BufSide};
+use apenet_cluster::presets::cluster_i_default;
+use apenet_sim::stats::{render_table, Series};
+
+/// Regenerate this experiment.
+pub fn run() {
+    let combos = [
+        ("H-H", BufSide::Host, BufSide::Host),
+        ("H-G", BufSide::Host, BufSide::Gpu),
+        ("G-H", BufSide::Gpu, BufSide::Host),
+        ("G-G", BufSide::Gpu, BufSide::Gpu),
+    ];
+    let mut series = Vec::new();
+    for (label, src, dst) in combos {
+        let mut s = Series::new(label);
+        for size in sizes_32b_4kb() {
+            let lat = pingpong_half_rtt(cluster_i_default(), src, dst, size, 12, false);
+            s.push(size as f64, lat.as_us_f64());
+        }
+        series.push(s);
+    }
+    let mut out = String::from(
+        "# Fig. 8 — APEnet+ half-round-trip latency (paper: H-H 6.3 us, G-G 8.2 us at\n\
+         # small sizes, H-G / G-H in between)\n",
+    );
+    out.push_str(&render_table(&series, "msg bytes", "us"));
+    emit("fig08", &out);
+}

@@ -1,0 +1,36 @@
+//! Table II — HSG strong scaling on APEnet+, L = 256, P2P = ON
+//! (times in picoseconds per single-spin update).
+
+use apenet_apps::hsg::{run_apenet, HsgConfig, P2pMode};
+use crate::emit;
+use std::fmt::Write;
+
+/// Regenerate this experiment.
+pub fn run() {
+    let paper = [
+        (1usize, 921.0, 11.0, f64::NAN),
+        (2, 416.0, 108.0, 97.0),
+        (4, 202.0, 119.0, 113.0),
+        (8, 148.0, 148.0, 141.0),
+    ];
+    let mut out = String::from(
+        "# Table II — HSG single-spin update time (ps), strong scaling, L = 256, P2P=ON\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:>3} | {:>8} {:>8} | {:>10} {:>10} | {:>8} {:>8}",
+        "NP", "Ttot(p)", "Ttot(m)", "Tb+Tn(p)", "Tb+Tn(m)", "Tnet(p)", "Tnet(m)"
+    );
+    for (np, p_ttot, p_bn, p_net) in paper {
+        let r = run_apenet(&HsgConfig::paper(256, np, P2pMode::On));
+        let _ = writeln!(
+            out,
+            "{np:>3} | {p_ttot:>8.0} {:>8.0} | {p_bn:>10.0} {:>10.0} | {p_net:>8.0} {:>8.0}",
+            r.ttot_ps, r.tbnd_net_ps, r.tnet_ps
+        );
+    }
+    out.push_str("\n(p) = paper, (m) = model. NP=8 over-predicts Ttot: the naive ring-on-torus\n");
+    out.push_str("embedding's convoy effect is stronger in the model — see the snake ablation\n");
+    out.push_str("in fig11 and EXPERIMENTS.md.\n");
+    emit("table2", &out);
+}

@@ -1,0 +1,57 @@
+//! Table III — HSG two-node break-down by P2P mode, L = 256, plus the
+//! OpenMPI-over-InfiniBand references.
+
+use apenet_apps::hsg::{run_apenet, run_ib, HsgConfig, P2pMode};
+use crate::emit;
+use apenet_ib::IbConfig;
+use std::fmt::Write;
+
+/// The OpenMPI releases of 2012 staged GPU buffers with *blocking*
+/// copies (the pipelined G-G path was MVAPICH2's); model the references
+/// accordingly.
+fn ompi(mut cfg: IbConfig) -> IbConfig {
+    cfg.gpu_pipeline_threshold = u64::MAX;
+    cfg
+}
+
+/// Regenerate this experiment.
+pub fn run() {
+    let mut out = String::from("# Table III — HSG on two nodes, L = 256 (ps per spin update)\n");
+    let _ = writeln!(
+        out,
+        "{:<26} | {:>8} {:>8} | {:>10} {:>10} | {:>8} {:>8}",
+        "column", "Ttot(p)", "Ttot(m)", "Tb+Tn(p)", "Tb+Tn(m)", "Tnet(p)", "Tnet(m)"
+    );
+    let rows: Vec<(&str, f64, f64, f64, apenet_apps::hsg::HsgResult)> = vec![
+        ("APEnet+ P2P=ON", 416.0, 108.0, 97.0, run_apenet(&HsgConfig::paper(256, 2, P2pMode::On))),
+        ("APEnet+ P2P=RX", 416.0, 97.0, 91.0, run_apenet(&HsgConfig::paper(256, 2, P2pMode::Rx))),
+        ("APEnet+ P2P=OFF", 416.0, 122.0, 114.0, run_apenet(&HsgConfig::paper(256, 2, P2pMode::Off))),
+        (
+            "OMPI/IB Cluster II (x8)",
+            416.0,
+            108.0,
+            101.0,
+            run_ib(&HsgConfig::paper(256, 2, P2pMode::On), ompi(IbConfig::cluster_ii())),
+        ),
+        (
+            "OMPI/IB Cluster I (x4)",
+            416.0,
+            108.0,
+            101.0,
+            run_ib(&HsgConfig::paper(256, 2, P2pMode::On), ompi(IbConfig::cluster_i())),
+        ),
+    ];
+    for (label, p_ttot, p_bn, p_net, r) in rows {
+        let _ = writeln!(
+            out,
+            "{label:<26} | {p_ttot:>8.0} {:>8.0} | {p_bn:>10.0} {:>10.0} | {p_net:>8.0} {:>8.0}",
+            r.ttot_ps, r.tbnd_net_ps, r.tnet_ps
+        );
+    }
+    out.push_str(
+        "\n(p) = paper, (m) = model. At L = 256 / NP = 2 the bulk hides the exchange\n\
+         in every mode (Ttot identical); P2P beats staging on Tnet, with RX-only\n\
+         staging competitive — the paper's 20-10% advantage statement.\n",
+    );
+    emit("table3", &out);
+}

@@ -1,0 +1,167 @@
+//! The torus-wired cluster builder.
+
+use crate::msg::{CardActor, HostActor, HostIn, HostProgram, Msg, NodeCtx};
+use crate::node::{build_node, NodeConfig};
+use apenet_core::card::CardShared;
+use apenet_core::coord::{LinkDir, TorusDims};
+use apenet_core::torus::TorusLink;
+use apenet_gpu::cuda::CudaDevice;
+use apenet_gpu::mem::Memory;
+use apenet_sim::engine::{ActorId, Sim};
+use apenet_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shareable handles of one node, kept by the cluster for inspection.
+pub struct NodeHandles {
+    /// GPU devices.
+    pub cuda: Vec<Rc<RefCell<CudaDevice>>>,
+    /// Host memory.
+    pub hostmem: Rc<RefCell<Memory>>,
+    /// The card-shared state (PCIe fabric, firmware, …) — lets tests and
+    /// figure harnesses attach bus analyzers or inspect registrations.
+    pub shared: CardShared,
+}
+
+/// A built cluster: the simulation plus actor ids and node handles.
+pub struct Cluster {
+    /// The event engine, ready to run.
+    pub sim: Sim<Msg>,
+    /// Torus dimensions.
+    pub dims: TorusDims,
+    /// Host actor ids by rank.
+    pub hosts: Vec<ActorId>,
+    /// Card actor ids by rank.
+    pub cards: Vec<ActorId>,
+    /// Per-node shareable handles.
+    pub nodes: Vec<NodeHandles>,
+}
+
+/// Builder for a torus of identical nodes.
+pub struct ClusterBuilder {
+    dims: TorusDims,
+    node_cfg: NodeConfig,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `dims` nodes configured by `node_cfg`.
+    pub fn new(dims: TorusDims, node_cfg: NodeConfig) -> Self {
+        ClusterBuilder { dims, node_cfg }
+    }
+
+    /// Build with one host program per rank (must supply exactly
+    /// `dims.nodes()` programs). Each host receives `HostIn::Start` at t=0.
+    pub fn build(self, programs: Vec<Box<dyn HostProgram>>) -> Cluster {
+        let dims = self.dims;
+        assert_eq!(programs.len(), dims.nodes(), "one program per rank");
+        let mut sim: Sim<Msg> = Sim::new();
+        let mut built = Vec::new();
+        for (rank, _) in (0..dims.nodes()).enumerate() {
+            let coord = dims.coord_of(rank);
+            built.push(build_node(rank as u32, coord, dims, &self.node_cfg));
+        }
+        // Pre-create torus links: one per (node, direction).
+        let link_gbps = self.node_cfg.card.link_gbps;
+        let link_lat = self.node_cfg.card.link_latency;
+        for node in &mut built {
+            for dir in LinkDir::ALL {
+                let link = Rc::new(RefCell::new(TorusLink::new_gbps(link_gbps, link_lat)));
+                node.card.set_link(dir, link);
+            }
+        }
+        // Register actors: hosts first so cards can reference them.
+        // Actor ids are assigned sequentially; we reserve [0, n) for cards
+        // and [n, 2n) for hosts by adding cards first with placeholder
+        // host ids, then fixing up is impossible — so compute ids ahead:
+        // card i gets id i, host i gets id n + i.
+        let n = dims.nodes();
+        let mut handles = Vec::new();
+        let mut cards = Vec::new();
+        let mut programs = programs;
+        // First pass: create card actors (ids 0..n).
+        let mut host_ctxs = Vec::new();
+        for (rank, node) in built.into_iter().enumerate() {
+            let host_id = n + rank;
+            let mut actor = CardActor::new(node.card, host_id);
+            for dir in LinkDir::ALL {
+                let nb = dims.neighbor(dims.coord_of(rank), dir);
+                actor.neighbors[dir.index()] = Some(dims.rank_of(nb));
+            }
+            let id = sim.add_actor(Box::new(actor));
+            assert_eq!(id, rank);
+            cards.push(id);
+            handles.push(NodeHandles {
+                cuda: node.cuda.clone(),
+                hostmem: node.hostmem.clone(),
+                shared: node.shared.clone(),
+            });
+            host_ctxs.push(NodeCtx {
+                rank: rank as u32,
+                coord: dims.coord_of(rank),
+                dims,
+                ep: node.ep,
+                cq: node.cq,
+                cuda: node.cuda,
+                hostmem: node.hostmem,
+            });
+        }
+        // Second pass: host actors (ids n..2n).
+        let mut hosts = Vec::new();
+        for (rank, ctx) in host_ctxs.into_iter().enumerate() {
+            let program = programs.remove(0);
+            let id = sim.add_actor(Box::new(HostActor::new(ctx, program, cards[rank])));
+            assert_eq!(id, n + rank);
+            hosts.push(id);
+            sim.send(id, SimTime::ZERO, Msg::Host(HostIn::Start));
+        }
+        Cluster {
+            sim,
+            dims,
+            hosts,
+            cards,
+            nodes: handles,
+        }
+    }
+}
+
+impl Cluster {
+    /// Run to quiescence and return the final time.
+    pub fn run(&mut self) -> SimTime {
+        self.sim.run()
+    }
+
+    /// Run until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.sim.run_until(deadline)
+    }
+
+    /// Borrow the host actor of `rank` (after a run) to read results.
+    pub fn host(&self, rank: usize) -> &HostActor {
+        self.sim
+            .actor(self.hosts[rank])
+            .as_any()
+            .and_then(|a| a.downcast_ref::<HostActor>())
+            .expect("host actor at host id")
+    }
+
+    /// Borrow the card actor of `rank` (after a run) to read statistics.
+    pub fn card(&self, rank: usize) -> &CardActor {
+        self.sim
+            .actor(self.cards[rank])
+            .as_any()
+            .and_then(|a| a.downcast_ref::<CardActor>())
+            .expect("card actor at card id")
+    }
+
+    /// Wake host `rank` at time `at` with `tag`.
+    pub fn wake_host(&mut self, rank: usize, at: SimTime, tag: u64) {
+        self.sim
+            .send(self.hosts[rank], at, Msg::Host(HostIn::Wake(tag)));
+    }
+
+    /// Convenience: wake after a delay from now.
+    pub fn wake_host_after(&mut self, rank: usize, delay: SimDuration, tag: u64) {
+        let at = self.sim.now() + delay;
+        self.wake_host(rank, at, tag);
+    }
+}

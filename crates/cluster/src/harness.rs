@@ -1,0 +1,823 @@
+//! The benchmark programs of §V, coded against the RDMA API.
+//!
+//! * [`flush_read_bandwidth`] — the Table I / Fig. 4 memory-read test:
+//!   "the test allocates a single receive buffer, then it enters a tight
+//!   loop, enqueuing as many RDMA PUT as possible as to keep the
+//!   transmission queue constantly full", with TX injection FIFOs flushed;
+//! * [`loopback_bandwidth`] — the same loop against the internal switch
+//!   (Table I loop-back rows, Fig. 5);
+//! * [`two_node_bandwidth`] — the Fig. 6/7 uni-directional bandwidth test
+//!   for every source/destination buffer-kind combination, with optional
+//!   host staging (P2P=OFF);
+//! * [`pingpong_half_rtt`] — the Fig. 8/9 latency test (half round-trip);
+//! * sender-side submit intervals for the Fig. 10 host-overhead plot.
+
+use crate::cluster::ClusterBuilder;
+use crate::msg::{HostApi, HostIn, HostProgram, NodeCtx};
+use crate::node::NodeConfig;
+use apenet_core::config::TxSinkMode;
+use apenet_core::coord::{Coord, TorusDims};
+use apenet_rdma::api::SrcHint;
+use apenet_rdma::staging::{staged_put, staged_recv_finish};
+use apenet_sim::{Bandwidth, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which memory a test buffer lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufSide {
+    /// Host memory ("H" in the figures).
+    Host,
+    /// GPU device memory ("G").
+    Gpu,
+}
+
+impl BufSide {
+    fn hint(self) -> SrcHint {
+        match self {
+            BufSide::Host => SrcHint::Host,
+            BufSide::Gpu => SrcHint::Gpu,
+        }
+    }
+}
+
+/// Shared measurement records filled in by the programs.
+#[derive(Debug, Default)]
+pub struct BenchRecords {
+    /// Times each PUT was handed to the card (sender side).
+    pub submits: Vec<SimTime>,
+    /// TX-complete times (sender side).
+    pub tx_done: Vec<SimTime>,
+    /// Delivery times (receiver side, message granularity).
+    pub deliveries: Vec<SimTime>,
+    /// Post-processed completion `(time, bytes)` records (e.g. after the
+    /// staged H2D copy; staged transfers complete chunk-wise).
+    pub completions: Vec<(SimTime, u64)>,
+}
+
+type Shared = Rc<RefCell<BenchRecords>>;
+
+fn alloc_buf(node: &NodeCtx, side: BufSide, len: u64) -> u64 {
+    match side {
+        BufSide::Host => node.hostmem.borrow_mut().alloc(len).expect("host alloc"),
+        BufSide::Gpu => node.cuda[0].borrow_mut().malloc(len).expect("gpu alloc"),
+    }
+}
+
+fn fill_buf(node: &NodeCtx, side: BufSide, addr: u64, len: u64, seed: u8) {
+    let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect();
+    match side {
+        BufSide::Host => node.hostmem.borrow_mut().write(addr, &data).unwrap(),
+        BufSide::Gpu => node.cuda[0].borrow_mut().mem.write(addr, &data).unwrap(),
+    }
+}
+
+/// The streaming sender: keeps `window` PUTs outstanding until `count`
+/// have been issued.
+struct StreamSender {
+    peer: Coord,
+    src: BufSide,
+    src_addr: u64,
+    dst_vaddr: u64,
+    size: u64,
+    count: u32,
+    window: u32,
+    issued: u32,
+    records: Shared,
+}
+
+impl StreamSender {
+    fn send_one(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>, mut clock: SimDuration) -> SimDuration {
+        let out = node
+            .ep
+            .put(self.src_addr, self.size, self.peer, self.dst_vaddr, self.src.hint())
+            .expect("put");
+        clock += out.host_cost;
+        self.records.borrow_mut().submits.push(api.now + clock);
+        api.submit(clock, out.desc);
+        self.issued += 1;
+        clock
+    }
+}
+
+impl HostProgram for StreamSender {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let reg = node.ep.register(self.src_addr, self.size).expect("register src");
+        let mut clock = reg;
+        let burst = self.window.min(self.count);
+        for _ in 0..burst {
+            clock = self.send_one(node, api, clock);
+        }
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let HostIn::TxDone { .. } = ev {
+            self.records.borrow_mut().tx_done.push(api.now);
+            if self.issued < self.count {
+                self.send_one(node, api, SimDuration::ZERO);
+            }
+        }
+    }
+}
+
+/// The receiving side: registers the destination buffer and records
+/// deliveries; optionally finishes staged receptions with an H2D copy.
+struct StreamReceiver {
+    dst: BufSide,
+    dst_vaddr: u64,
+    size: u64,
+    /// For staged (P2P=OFF) reception: copy up to this GPU address.
+    staged_gpu_dst: Option<u64>,
+    records: Shared,
+}
+
+impl HostProgram for StreamReceiver {
+    fn start(&mut self, node: &mut NodeCtx, _api: &mut HostApi<'_, '_>) {
+        node.ep
+            .register(self.dst_vaddr, self.size)
+            .expect("register dst");
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let HostIn::Delivered { dst_vaddr, len, .. } = ev {
+            let mut rec = self.records.borrow_mut();
+            rec.deliveries.push(api.now);
+            let done = if let Some(gpu_dst) = self.staged_gpu_dst {
+                let mut dev = node.cuda[0].borrow_mut();
+                let mut hm = node.hostmem.borrow_mut();
+                staged_recv_finish(&mut dev, &mut hm, api.now, dst_vaddr, gpu_dst, len)
+            } else {
+                api.now
+            };
+            rec.completions.push((done, len));
+            let _ = self.dst;
+        }
+    }
+}
+
+/// The staged (P2P=OFF) sender: `cudaMemcpy` into a bounce buffer, then
+/// pipelined PUTs of the bounce.
+struct StagedSender {
+    peer: Coord,
+    src_dev: u64,
+    bounce: u64,
+    dst_vaddr: u64,
+    size: u64,
+    count: u32,
+    issued: u32,
+    chunks_left: u32,
+    records: Shared,
+}
+
+impl StagedSender {
+    fn send_one(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let mut dev = node.cuda[0].borrow_mut();
+        let mut hm = node.hostmem.borrow_mut();
+        // Split the borrow: staged_put needs the endpoint too.
+        let plan = {
+            let NodeCtx { ep, .. } = node;
+            staged_put(
+                ep,
+                &mut dev,
+                &mut hm,
+                api.now,
+                self.src_dev,
+                self.bounce,
+                self.size,
+                self.peer,
+                self.dst_vaddr,
+            )
+            .expect("staged put")
+        };
+        self.chunks_left = plan.submissions.len() as u32;
+        let mut rec = self.records.borrow_mut();
+        for (at, desc) in plan.submissions {
+            rec.submits.push(at);
+            api.submit(at.since(api.now), desc);
+        }
+        self.issued += 1;
+    }
+}
+
+impl HostProgram for StagedSender {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        node.ep.register(self.bounce, self.size).expect("register bounce");
+        self.send_one(node, api);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let HostIn::TxDone { .. } = ev {
+            self.records.borrow_mut().tx_done.push(api.now);
+            self.chunks_left -= 1;
+            if self.chunks_left == 0 && self.issued < self.count {
+                self.send_one(node, api);
+            }
+        }
+    }
+}
+
+/// Result of a bandwidth-style run.
+#[derive(Debug, Clone, Copy)]
+pub struct BwResult {
+    /// Steady-state delivered bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Mean sender-side inter-submit interval (the Fig. 10 host overhead).
+    pub submit_interval: SimDuration,
+    /// Completion time of the first message (startup latency).
+    pub first_completion: SimTime,
+    /// Time the first PUT was handed to the card (the Fig. 3 trigger).
+    pub first_submit: SimTime,
+}
+
+fn measure(records: &BenchRecords, size: u64) -> BwResult {
+    // Completion records carry byte counts (staged transfers complete in
+    // chunks); TX-done records are per whole message.
+    let comps: Vec<(SimTime, u64)> = if records.completions.is_empty() {
+        records.tx_done.iter().map(|&t| (t, size)).collect()
+    } else {
+        records.completions.clone()
+    };
+    assert!(comps.len() >= 2, "need at least two completions to measure");
+    let first_submit = records.submits.first().copied().unwrap_or(SimTime::ZERO);
+    let bytes: u64 = comps.iter().skip(1).map(|&(_, b)| b).sum();
+    let span = comps[comps.len() - 1].0.since(comps[0].0);
+    let bandwidth = Bandwidth::measured(bytes, span.max(SimDuration::from_ps(1)));
+    let submits = &records.submits;
+    let submit_interval = if submits.len() >= 2 {
+        submits[submits.len() - 1].since(submits[0]) / (submits.len() as u64 - 1)
+    } else {
+        SimDuration::ZERO
+    };
+    BwResult {
+        bandwidth,
+        submit_interval,
+        first_completion: comps[0].0,
+        first_submit,
+    }
+}
+
+/// Fig. 4 / Table I memory-read rows: single node, TX FIFO flushed.
+pub fn flush_read_bandwidth(node_cfg: NodeConfig, src: BufSide, size: u64, count: u32) -> BwResult {
+    flush_read_with_trace(node_cfg, src, size, count, None).0
+}
+
+/// [`flush_read_bandwidth`] with an optional bus-analyzer interposer on
+/// the card's PCIe uplink (the Fig. 3 setup); returns the capture.
+pub fn flush_read_with_trace(
+    mut node_cfg: NodeConfig,
+    src: BufSide,
+    size: u64,
+    count: u32,
+    sink: Option<apenet_sim::trace::SharedSink>,
+) -> (BwResult, Vec<apenet_sim::trace::TraceRecord>) {
+    node_cfg.card.tx_sink = TxSinkMode::Flush;
+    let dims = TorusDims::new(1, 1, 1);
+    let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
+    let sender = ProbeSetupSender {
+        inner: None,
+        src,
+        size,
+        count,
+        records: records.clone(),
+    };
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![Box::new(sender)]);
+    let sink = sink.unwrap_or_else(apenet_sim::trace::SharedSink::null);
+    if sink.enabled() {
+        let shared = &cluster.nodes[0].shared;
+        shared
+            .fabric
+            .borrow_mut()
+            .attach_analyzer(shared.nic_dev, sink.clone());
+    }
+    cluster.run();
+    let r = records.borrow();
+    (measure(&r, size), sink.snapshot().unwrap_or_default())
+}
+
+/// Wrapper that allocates its buffers lazily at start (single-node tests).
+struct ProbeSetupSender {
+    inner: Option<StreamSender>,
+    src: BufSide,
+    size: u64,
+    count: u32,
+    records: Shared,
+}
+
+impl HostProgram for ProbeSetupSender {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let src_addr = alloc_buf(node, self.src, self.size);
+        fill_buf(node, self.src, src_addr, self.size, 0xA5);
+        let mut s = StreamSender {
+            peer: node.coord, // self: flushed or loop-back
+            src: self.src,
+            src_addr,
+            dst_vaddr: src_addr, // unused in flush mode
+            size: self.size,
+            count: self.count,
+            window: 8,
+            issued: 0,
+            records: self.records.clone(),
+        };
+        s.start(node, api);
+        self.inner = Some(s);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let Some(s) = &mut self.inner {
+            s.on_event(ev, node, api);
+        }
+    }
+}
+
+/// Single-node loop-back test (Table I loop-back rows, Fig. 5): the
+/// message goes through the full TX *and* RX datapaths of one card.
+pub fn loopback_bandwidth(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size: u64, count: u32) -> BwResult {
+    let dims = TorusDims::new(1, 1, 1);
+    let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
+    let prog = LoopbackProgram {
+        sender: None,
+        receiver: None,
+        src,
+        dst,
+        size,
+        count,
+        records: records.clone(),
+    };
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![Box::new(prog)]);
+    cluster.run();
+    let r = records.borrow();
+    let comps = &r.deliveries;
+    assert!(comps.len() >= 2);
+    let n = comps.len() as u64;
+    let span = comps[n as usize - 1].since(comps[0]);
+    BwResult {
+        bandwidth: Bandwidth::measured((n - 1) * size, span.max(SimDuration::from_ps(1))),
+        submit_interval: SimDuration::ZERO,
+        first_completion: comps[0],
+        first_submit: r.submits.first().copied().unwrap_or(SimTime::ZERO),
+    }
+}
+
+/// Loop-back = a sender and a receiver sharing one node.
+struct LoopbackProgram {
+    sender: Option<StreamSender>,
+    receiver: Option<StreamReceiver>,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    count: u32,
+    records: Shared,
+}
+
+impl HostProgram for LoopbackProgram {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let src_addr = alloc_buf(node, self.src, self.size);
+        let dst_addr = alloc_buf(node, self.dst, self.size);
+        fill_buf(node, self.src, src_addr, self.size, 0x3C);
+        let mut recv = StreamReceiver {
+            dst: self.dst,
+            dst_vaddr: dst_addr,
+            size: self.size,
+            staged_gpu_dst: None,
+            records: self.records.clone(),
+        };
+        recv.start(node, api);
+        let mut send = StreamSender {
+            peer: node.coord,
+            src: self.src,
+            src_addr,
+            dst_vaddr: dst_addr,
+            size: self.size,
+            count: self.count,
+            window: 8,
+            issued: 0,
+            records: self.records.clone(),
+        };
+        send.start(node, api);
+        self.sender = Some(send);
+        self.receiver = Some(recv);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        match &ev {
+            HostIn::Delivered { .. } => {
+                if let Some(r) = &mut self.receiver {
+                    r.on_event(ev, node, api);
+                }
+            }
+            _ => {
+                if let Some(s) = &mut self.sender {
+                    s.on_event(ev, node, api);
+                }
+            }
+        }
+    }
+}
+
+/// Parameters of a two-node transfer test.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoNodeParams {
+    /// Source buffer side on the sender.
+    pub src: BufSide,
+    /// Destination buffer side on the receiver.
+    pub dst: BufSide,
+    /// Message size.
+    pub size: u64,
+    /// Number of messages.
+    pub count: u32,
+    /// Use host staging instead of peer-to-peer for GPU buffers (P2P=OFF).
+    pub staged: bool,
+}
+
+/// Fig. 6/7 two-node uni-directional bandwidth test.
+pub fn two_node_bandwidth(node_cfg: NodeConfig, p: TwoNodeParams) -> BwResult {
+    let dims = TorusDims::new(2, 1, 1);
+    let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
+    // Destination addresses are deterministic: first allocation on the
+    // receiver's memory. Compute them from the allocator's behaviour.
+    let dst_vaddr = first_alloc_addr(&node_cfg, p.dst, p.size, p.staged);
+    let sender: Box<dyn HostProgram> = if p.staged && p.src == BufSide::Gpu {
+        Box::new(StagedSetupSender {
+            inner: None,
+            size: p.size,
+            count: p.count,
+            dst_vaddr,
+            records: records.clone(),
+        })
+    } else {
+        Box::new(TwoNodeSetupSender {
+            inner: None,
+            src: p.src,
+            size: p.size,
+            count: p.count,
+            dst_vaddr,
+            records: records.clone(),
+        })
+    };
+    let receiver = Box::new(TwoNodeSetupReceiver {
+        inner: None,
+        dst: p.dst,
+        size: p.size,
+        staged: p.staged,
+        records: records.clone(),
+    });
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![sender, receiver]);
+    cluster.run();
+    let r = records.borrow();
+    measure(&r, p.size)
+}
+
+/// The address the first allocation of `size` bytes lands at.
+fn first_alloc_addr(node_cfg: &NodeConfig, side: BufSide, size: u64, staged: bool) -> u64 {
+    let probe = crate::node::build_node(9, Coord::new(0, 0, 0), TorusDims::new(1, 1, 1), node_cfg);
+    match (side, staged) {
+        (BufSide::Host, _) => probe.hostmem.borrow_mut().alloc(size).unwrap(),
+        // Staged GPU reception lands in a host bounce buffer first.
+        (BufSide::Gpu, true) => probe.hostmem.borrow_mut().alloc(size).unwrap(),
+        (BufSide::Gpu, false) => probe.cuda[0].borrow_mut().malloc(size).unwrap(),
+    }
+}
+
+struct TwoNodeSetupSender {
+    inner: Option<StreamSender>,
+    src: BufSide,
+    size: u64,
+    count: u32,
+    dst_vaddr: u64,
+    records: Shared,
+}
+
+impl HostProgram for TwoNodeSetupSender {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let src_addr = alloc_buf(node, self.src, self.size);
+        fill_buf(node, self.src, src_addr, self.size, 0x5A);
+        let mut s = StreamSender {
+            peer: node.dims.coord_of(1),
+            src: self.src,
+            src_addr,
+            dst_vaddr: self.dst_vaddr,
+            size: self.size,
+            count: self.count,
+            window: 8,
+            issued: 0,
+            records: self.records.clone(),
+        };
+        s.start(node, api);
+        self.inner = Some(s);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let Some(s) = &mut self.inner {
+            s.on_event(ev, node, api);
+        }
+    }
+}
+
+struct StagedSetupSender {
+    inner: Option<StagedSender>,
+    size: u64,
+    count: u32,
+    dst_vaddr: u64,
+    records: Shared,
+}
+
+impl HostProgram for StagedSetupSender {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let src_dev = alloc_buf(node, BufSide::Gpu, self.size);
+        let bounce = alloc_buf(node, BufSide::Host, self.size);
+        fill_buf(node, BufSide::Gpu, src_dev, self.size, 0x5A);
+        let mut s = StagedSender {
+            peer: node.dims.coord_of(1),
+            src_dev,
+            bounce,
+            dst_vaddr: self.dst_vaddr,
+            size: self.size,
+            count: self.count,
+            issued: 0,
+            chunks_left: 0,
+            records: self.records.clone(),
+        };
+        s.start(node, api);
+        self.inner = Some(s);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let Some(s) = &mut self.inner {
+            s.on_event(ev, node, api);
+        }
+    }
+}
+
+struct TwoNodeSetupReceiver {
+    inner: Option<StreamReceiver>,
+    dst: BufSide,
+    size: u64,
+    staged: bool,
+    records: Shared,
+}
+
+impl HostProgram for TwoNodeSetupReceiver {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let (dst_vaddr, staged_gpu_dst) = if self.staged && self.dst == BufSide::Gpu {
+            let bounce = alloc_buf(node, BufSide::Host, self.size);
+            let gpu = alloc_buf(node, BufSide::Gpu, self.size);
+            (bounce, Some(gpu))
+        } else {
+            (alloc_buf(node, self.dst, self.size), None)
+        };
+        let mut r = StreamReceiver {
+            dst: self.dst,
+            dst_vaddr,
+            size: self.size,
+            staged_gpu_dst,
+            records: self.records.clone(),
+        };
+        r.start(node, api);
+        self.inner = Some(r);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let Some(r) = &mut self.inner {
+            r.on_event(ev, node, api);
+        }
+    }
+}
+
+/// Ping-pong latency test: returns the half round-trip time.
+pub fn pingpong_half_rtt(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size: u64, iters: u32, staged: bool) -> SimDuration {
+    let dims = TorusDims::new(2, 1, 1);
+    let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
+    let peer_dst = first_alloc_addr(&node_cfg, dst, size, staged);
+    let initiator = Box::new(PingPongProgram {
+        initiator: true,
+        src,
+        dst,
+        size,
+        iters,
+        staged,
+        peer_dst,
+        addrs: None,
+        done: 0,
+        timer_start: None,
+        records: records.clone(),
+    });
+    let responder = Box::new(PingPongProgram {
+        initiator: false,
+        src,
+        dst,
+        size,
+        iters,
+        staged,
+        peer_dst,
+        addrs: None,
+        done: 0,
+        timer_start: None,
+        records: records.clone(),
+    });
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![initiator, responder]);
+    cluster.run();
+    let r = records.borrow();
+    // completions[0] is the timer start (after warm-up); the last is the
+    // final pong. Each iteration is one full round trip.
+    assert!(r.completions.len() >= 2, "pingpong produced no measurements");
+    let span = r.completions[r.completions.len() - 1]
+        .0
+        .since(r.completions[0].0);
+    span / (2 * (r.completions.len() as u64 - 1))
+}
+
+/// Both sides of the ping-pong. The destination buffer layout is
+/// symmetric, so `peer_dst` is the same on both nodes.
+struct PingPongProgram {
+    initiator: bool,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    iters: u32,
+    staged: bool,
+    peer_dst: u64,
+    addrs: Option<(u64, u64, Option<u64>, Option<u64>)>, // src, dst, bounce_tx, gpu_dst
+    done: u32,
+    timer_start: Option<SimTime>,
+    records: Shared,
+}
+
+const PINGPONG_WARMUP: u32 = 2;
+
+impl PingPongProgram {
+    fn peer(&self, node: &NodeCtx) -> Coord {
+        node.dims.coord_of(if self.initiator { 1 } else { 0 })
+    }
+
+    fn send(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>, at: SimTime) {
+        let (src_addr, _dst, bounce_tx, _gpu) = self.addrs.expect("addresses set in start");
+        let peer = self.peer(node);
+        if self.staged && self.src == BufSide::Gpu {
+            let bounce = bounce_tx.expect("staged sender has a bounce");
+            let mut dev = node.cuda[0].borrow_mut();
+            let mut hm = node.hostmem.borrow_mut();
+            let plan = staged_put(
+                &mut node.ep,
+                &mut dev,
+                &mut hm,
+                at,
+                src_addr,
+                bounce,
+                self.size,
+                peer,
+                self.peer_dst,
+            )
+            .expect("staged put");
+            for (t, desc) in plan.submissions {
+                api.submit(t.since(api.now), desc);
+            }
+        } else {
+            let out = node
+                .ep
+                .put(src_addr, self.size, peer, self.peer_dst, self.src.hint())
+                .expect("put");
+            api.submit(at.since(api.now) + out.host_cost, out.desc);
+        }
+    }
+}
+
+impl HostProgram for PingPongProgram {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        // Allocation order must match `first_alloc_addr`: destination first.
+        let (dst_addr, gpu_dst) = if self.staged && self.dst == BufSide::Gpu {
+            let bounce = alloc_buf(node, BufSide::Host, self.size);
+            let gpu = alloc_buf(node, BufSide::Gpu, self.size);
+            (bounce, Some(gpu))
+        } else {
+            (alloc_buf(node, self.dst, self.size), None)
+        };
+        let src_addr = alloc_buf(node, self.src, self.size);
+        fill_buf(node, self.src, src_addr, self.size, if self.initiator { 1 } else { 2 });
+        let bounce_tx = if self.staged && self.src == BufSide::Gpu {
+            Some(alloc_buf(node, BufSide::Host, self.size))
+        } else {
+            None
+        };
+        node.ep.register(dst_addr, self.size).expect("register dst");
+        self.addrs = Some((src_addr, dst_addr, bounce_tx, gpu_dst));
+        if self.initiator {
+            self.send(node, api, api.now);
+        }
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let HostIn::Delivered { dst_vaddr, len, .. } = ev {
+            // Staged reception must land in the GPU before replying.
+            let usable = if let (true, Some((_, _, _, Some(gpu_dst)))) = (self.staged && self.dst == BufSide::Gpu, self.addrs) {
+                let mut dev = node.cuda[0].borrow_mut();
+                let mut hm = node.hostmem.borrow_mut();
+                staged_recv_finish(&mut dev, &mut hm, api.now, dst_vaddr, gpu_dst, len)
+            } else {
+                api.now
+            };
+            if self.initiator {
+                self.done += 1;
+                if self.done >= PINGPONG_WARMUP {
+                    self.timer_start.get_or_insert(usable);
+                    self.records.borrow_mut().completions.push((usable, len));
+                }
+                if self.done < self.iters + PINGPONG_WARMUP {
+                    self.send(node, api, usable);
+                }
+            } else {
+                // Echo.
+                self.send(node, api, usable);
+            }
+        }
+    }
+}
+
+/// A node that both streams to its peer and receives (the bi-directional
+/// test the paper alludes to: "the APEnet+ bi-directional bandwidth …
+/// will reflect a similar behaviour" to the loop-back plot, §IV).
+struct BidirProgram {
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    count: u32,
+    peer_rank: usize,
+    dst_vaddr: u64,
+    sender: Option<StreamSender>,
+    receiver: Option<StreamReceiver>,
+    records: Shared,
+}
+
+impl HostProgram for BidirProgram {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        // Allocation order matches on both ranks: dst first, then src.
+        let dst_addr = alloc_buf(node, self.dst, self.size);
+        let src_addr = alloc_buf(node, self.src, self.size);
+        fill_buf(node, self.src, src_addr, self.size, node.rank as u8);
+        let mut recv = StreamReceiver {
+            dst: self.dst,
+            dst_vaddr: dst_addr,
+            size: self.size,
+            staged_gpu_dst: None,
+            records: self.records.clone(),
+        };
+        recv.start(node, api);
+        let mut send = StreamSender {
+            peer: node.dims.coord_of(self.peer_rank),
+            src: self.src,
+            src_addr,
+            dst_vaddr: self.dst_vaddr,
+            size: self.size,
+            count: self.count,
+            window: 8,
+            issued: 0,
+            records: self.records.clone(),
+        };
+        send.start(node, api);
+        self.sender = Some(send);
+        self.receiver = Some(recv);
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        match &ev {
+            HostIn::Delivered { .. } => {
+                if let Some(r) = &mut self.receiver {
+                    r.on_event(ev, node, api);
+                }
+            }
+            _ => {
+                if let Some(s) = &mut self.sender {
+                    s.on_event(ev, node, api);
+                }
+            }
+        }
+    }
+}
+
+/// Two-node bi-directional bandwidth: both nodes stream simultaneously;
+/// returns the *aggregate* (sum of both directions) steady bandwidth.
+pub fn two_node_bidir_bandwidth(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size: u64, count: u32) -> BwResult {
+    let dims = TorusDims::new(2, 1, 1);
+    let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
+    let dst_vaddr = first_alloc_addr(&node_cfg, dst, size, false);
+    let programs: Vec<Box<dyn HostProgram>> = (0..2)
+        .map(|rank| {
+            Box::new(BidirProgram {
+                src,
+                dst,
+                size,
+                count,
+                peer_rank: 1 - rank,
+                dst_vaddr,
+                sender: None,
+                receiver: None,
+                records: records.clone(),
+            }) as Box<dyn HostProgram>
+        })
+        .collect();
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(programs);
+    cluster.run();
+    let r = records.borrow();
+    // Deliveries from both directions interleave; aggregate rate over the
+    // combined completion stream.
+    measure(&r, size)
+}

@@ -1,0 +1,215 @@
+//! The cluster event type and the actors that adapt cards and hosts to
+//! the simulation engine.
+
+use apenet_core::card::{Card, CardIn, CardOut, TxDesc};
+use apenet_core::coord::{Coord, TorusDims};
+use apenet_core::packet::MsgId;
+use apenet_gpu::cuda::CudaDevice;
+use apenet_gpu::mem::Memory;
+use apenet_rdma::api::RdmaEndpoint;
+use apenet_rdma::completion::CompletionQueue;
+use apenet_sim::engine::{Actor, ActorId, Ctx};
+use apenet_sim::{Device, Outbox, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The closed event type of a cluster simulation.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// An event for a card actor.
+    Card(CardIn),
+    /// An event for a host actor.
+    Host(HostIn),
+}
+
+/// Events consumed by host actors.
+#[derive(Debug, Clone)]
+pub enum HostIn {
+    /// Program start (seeded by the builder at t = 0).
+    Start,
+    /// The local card delivered a complete message into a local buffer.
+    Delivered {
+        /// Message id.
+        msg: MsgId,
+        /// Where it landed.
+        dst_vaddr: u64,
+        /// Message length.
+        len: u64,
+    },
+    /// The local card finished fetching/enqueuing a transmission.
+    TxDone {
+        /// Message id.
+        msg: MsgId,
+    },
+    /// A self-scheduled wake-up.
+    Wake(u64),
+}
+
+/// The card actor: wraps the [`Card`] device and routes its effects.
+pub struct CardActor {
+    card: Card,
+    host: ActorId,
+    /// Neighbour card actors by link direction index.
+    pub neighbors: [Option<ActorId>; 6],
+    outbox: Outbox<CardOut>,
+}
+
+impl CardActor {
+    /// Wrap a card; `host` is the actor receiving its notifications.
+    pub fn new(card: Card, host: ActorId) -> Self {
+        CardActor {
+            card,
+            host,
+            neighbors: [None; 6],
+            outbox: Outbox::new(),
+        }
+    }
+
+    /// Immutable access to the wrapped card (for post-run inspection).
+    pub fn card(&self) -> &Card {
+        &self.card
+    }
+}
+
+impl Actor<Msg> for CardActor {
+    fn on_event(&mut self, ev: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Card(ev) = ev else {
+            panic!("card actor received a host event");
+        };
+        self.card.handle(ctx.now(), ev, &mut self.outbox);
+        for (delay, eff) in self.outbox.drain() {
+            match eff {
+                CardOut::ToSelf(next) => ctx.send_self(delay, Msg::Card(next)),
+                CardOut::TorusSend { dir, packet } => {
+                    let to = self.neighbors[dir.index()]
+                        .expect("torus neighbour wired for used direction");
+                    ctx.send(to, delay, Msg::Card(CardIn::RxPacket(packet)));
+                }
+                CardOut::Delivered { msg, dst_vaddr, len } => {
+                    ctx.send(self.host, delay, Msg::Host(HostIn::Delivered { msg, dst_vaddr, len }));
+                }
+                CardOut::TxComplete { msg } => {
+                    ctx.send(self.host, delay, Msg::Host(HostIn::TxDone { msg }));
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "apenet-card"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Everything a host program can touch on its node.
+pub struct NodeCtx {
+    /// Node rank.
+    pub rank: u32,
+    /// Torus coordinates.
+    pub coord: Coord,
+    /// Torus dimensions.
+    pub dims: TorusDims,
+    /// The RDMA endpoint.
+    pub ep: RdmaEndpoint,
+    /// Completion records.
+    pub cq: CompletionQueue,
+    /// Local GPUs.
+    pub cuda: Vec<Rc<RefCell<CudaDevice>>>,
+    /// Host memory.
+    pub hostmem: Rc<RefCell<Memory>>,
+}
+
+/// Scheduling facilities handed to a host program.
+pub struct HostApi<'a, 'b> {
+    /// Current simulated time.
+    pub now: SimTime,
+    ctx: &'a mut Ctx<'b, Msg>,
+    card: ActorId,
+    self_id: ActorId,
+}
+
+impl HostApi<'_, '_> {
+    /// Submit a TX descriptor to the local card after `delay` (usually the
+    /// host cost of the `put()` that produced it).
+    pub fn submit(&mut self, delay: SimDuration, desc: TxDesc) {
+        self.ctx.send(self.card, delay, Msg::Card(CardIn::TxSubmit(desc)));
+    }
+
+    /// Schedule a wake-up for this host program.
+    pub fn wake(&mut self, delay: SimDuration, tag: u64) {
+        self.ctx
+            .send(self.self_id, delay, Msg::Host(HostIn::Wake(tag)));
+    }
+}
+
+/// A host-resident program: benchmark harnesses and applications
+/// implement this.
+pub trait HostProgram {
+    /// Called once at simulation start.
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>);
+    /// Called for every notification or wake-up.
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>);
+}
+
+/// A host program that does nothing (pure receiver nodes).
+pub struct IdleProgram;
+
+impl HostProgram for IdleProgram {
+    fn start(&mut self, _node: &mut NodeCtx, _api: &mut HostApi<'_, '_>) {}
+    fn on_event(&mut self, _ev: HostIn, _node: &mut NodeCtx, _api: &mut HostApi<'_, '_>) {}
+}
+
+/// The host actor: owns the node context and drives its program.
+pub struct HostActor {
+    /// The node context (public for post-run inspection).
+    pub node: NodeCtx,
+    program: Box<dyn HostProgram>,
+    card: ActorId,
+}
+
+impl HostActor {
+    /// Wrap a node context and program; `card` is the local card actor.
+    pub fn new(node: NodeCtx, program: Box<dyn HostProgram>, card: ActorId) -> Self {
+        HostActor { node, program, card }
+    }
+}
+
+impl Actor<Msg> for HostActor {
+    fn on_event(&mut self, ev: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Host(ev) = ev else {
+            panic!("host actor received a card event");
+        };
+        // Record completions before the program sees them.
+        match &ev {
+            HostIn::Delivered { msg, len, .. } => {
+                self.node.cq.push_delivered(*msg, ctx.now(), *len);
+            }
+            HostIn::TxDone { msg } => {
+                self.node.cq.push_tx_done(*msg, ctx.now());
+            }
+            _ => {}
+        }
+        let self_id = ctx.self_id();
+        let mut api = HostApi {
+            now: ctx.now(),
+            ctx,
+            card: self.card,
+            self_id,
+        };
+        match ev {
+            HostIn::Start => self.program.start(&mut self.node, &mut api),
+            other => self.program.on_event(other, &mut self.node, &mut api),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "host"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

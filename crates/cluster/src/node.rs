@@ -1,0 +1,150 @@
+//! One cluster node: host, PCIe fabric, GPUs, APEnet+ card.
+
+use apenet_core::card::{Card, CardShared, Firmware, GpuHandle};
+use apenet_core::config::CardConfig;
+use apenet_core::coord::{Coord, TorusDims};
+use apenet_gpu::cuda::CudaDevice;
+use apenet_gpu::mem::Memory;
+use apenet_gpu::uva::HOST_BASE;
+use apenet_gpu::{GpuArch, GpuId, Uva, HOST_PAGE_SIZE};
+use apenet_pcie::fabric::Fabric;
+use apenet_pcie::link::LinkSpec;
+use apenet_pcie::server::ReadServer;
+use apenet_rdma::api::RdmaEndpoint;
+use apenet_rdma::completion::CompletionQueue;
+use apenet_rdma::driver::DriverConfig;
+use apenet_sim::{Bandwidth, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// GPUs installed (Cluster I: one Fermi per node).
+    pub gpus: Vec<GpuArch>,
+    /// Card calibration.
+    pub card: CardConfig,
+    /// Host memory size.
+    pub hostmem_bytes: u64,
+    /// Driver cost model.
+    pub driver: DriverConfig,
+    /// Rate at which the card reads host memory (Table I: 2.4 GB/s).
+    pub host_read_rate: Bandwidth,
+    /// First-completion latency of host memory reads.
+    pub host_read_latency: SimDuration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            gpus: vec![GpuArch::Fermi2050],
+            card: CardConfig::default(),
+            hostmem_bytes: 256 << 20,
+            driver: DriverConfig::default(),
+            host_read_rate: Bandwidth::from_mb_per_sec(2400),
+            host_read_latency: SimDuration::from_ns(400),
+        }
+    }
+}
+
+/// The live pieces of one built node, shared with benchmarks and tests.
+pub struct BuiltNode {
+    /// The card model (moved into its actor by the cluster builder).
+    pub card: Card,
+    /// The RDMA endpoint (moved into the host actor).
+    pub ep: RdmaEndpoint,
+    /// The host completion queue (moved into the host actor).
+    pub cq: CompletionQueue,
+    /// GPU device handles (kept shareable for apps/benchmarks).
+    pub cuda: Vec<Rc<RefCell<CudaDevice>>>,
+    /// Host memory.
+    pub hostmem: Rc<RefCell<Memory>>,
+    /// The card-shared handles (fabric, firmware, …).
+    pub shared: CardShared,
+    /// The UVA layout of this host.
+    pub uva: Uva,
+}
+
+/// Build one node at `coord` of a torus of `dims`.
+///
+/// The PCIe topology matches the Westmere nodes of the paper's clusters:
+/// a single root complex with the host-memory target, the GPUs (x16) and
+/// the APEnet+ card (x8) on it.
+pub fn build_node(rank: u32, coord: Coord, dims: TorusDims, cfg: &NodeConfig) -> BuiltNode {
+    let mut fabric = Fabric::new();
+    let root = fabric.add_root(0);
+    let hostmem_dev = fabric.add_endpoint(root, "hostmem", LinkSpec::GEN2_X16, SimDuration::from_ns(50));
+    let nic_dev = fabric.add_endpoint(root, "apenet", LinkSpec::GEN2_X8, SimDuration::from_ns(50));
+
+    let hostmem = Rc::new(RefCell::new(Memory::new(HOST_BASE, cfg.hostmem_bytes, HOST_PAGE_SIZE)));
+    let mut uva = Uva::new();
+    uva.set_host(&hostmem.borrow());
+
+    let mut gpus = Vec::new();
+    let mut cuda_handles = Vec::new();
+    for (i, arch) in cfg.gpus.iter().enumerate() {
+        let dev = fabric.add_endpoint(root, "gpu", LinkSpec::GEN2_X16, SimDuration::from_ns(50));
+        let cuda = Rc::new(RefCell::new(CudaDevice::new(GpuId(i as u8), *arch)));
+        uva.add_gpu(GpuId(i as u8), &cuda.borrow().mem);
+        gpus.push(GpuHandle { pcie_dev: dev, cuda: cuda.clone() });
+        cuda_handles.push(cuda);
+    }
+
+    let shared = CardShared {
+        fabric: Rc::new(RefCell::new(fabric)),
+        nic_dev,
+        hostmem_dev,
+        hostmem: hostmem.clone(),
+        host_read: Rc::new(RefCell::new(ReadServer::new(
+            cfg.host_read_latency,
+            cfg.host_read_rate,
+        ))),
+        gpus,
+        firmware: Rc::new(RefCell::new(Firmware::new(cfg.gpus.len()))),
+    };
+
+    let card = Card::new(coord, dims, cfg.card.clone(), shared.clone());
+    let ep = RdmaEndpoint::new(shared.clone(), uva.clone(), rank, cfg.driver.clone());
+
+    BuiltNode {
+        card,
+        ep,
+        cq: CompletionQueue::new(),
+        cuda: cuda_handles,
+        hostmem,
+        shared,
+        uva,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_has_wired_pieces() {
+        let cfg = NodeConfig::default();
+        let n = build_node(0, Coord::new(0, 0, 0), TorusDims::new(1, 1, 1), &cfg);
+        assert_eq!(n.cuda.len(), 1);
+        assert_eq!(n.shared.gpus.len(), 1);
+        // UVA distinguishes host from GPU ranges.
+        let g = n.cuda[0].borrow().mem.base();
+        assert!(n.uva.is_gpu_ptr(g));
+        assert!(!n.uva.is_gpu_ptr(n.hostmem.borrow().base()));
+    }
+
+    #[test]
+    fn two_gpu_node() {
+        let cfg = NodeConfig {
+            gpus: vec![GpuArch::Fermi2075, GpuArch::Fermi2075],
+            ..NodeConfig::default()
+        };
+        let n = build_node(3, Coord::new(1, 0, 0), TorusDims::new(4, 2, 1), &cfg);
+        assert_eq!(n.cuda.len(), 2);
+        assert_eq!(n.ep.rank(), 3);
+        assert_ne!(
+            n.cuda[0].borrow().mem.base(),
+            n.cuda[1].borrow().mem.base()
+        );
+    }
+}

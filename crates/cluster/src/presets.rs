@@ -1,0 +1,81 @@
+//! The paper's test platforms.
+
+use crate::node::NodeConfig;
+use apenet_core::config::{CardConfig, GpuReadMethod, GpuTxVersion};
+use apenet_core::coord::TorusDims;
+use apenet_gpu::GpuArch;
+
+/// Cluster I: "eight dual-socket Xeon Westmere nodes, arranged in a 4×2
+/// torus topology, each one equipped with a single GPU (all Fermi 2050
+/// but one 2070)" (§V). 28 Gbps links for the bandwidth/latency tests.
+pub fn cluster_i_dims() -> TorusDims {
+    TorusDims::new(4, 2, 1)
+}
+
+/// Node configuration of Cluster I with the given GPU_P2P_TX generation
+/// and prefetch window.
+pub fn cluster_i_node(version: GpuTxVersion, window: u64) -> NodeConfig {
+    let card = match version {
+        GpuTxVersion::V1 => CardConfig::paper_v1(),
+        GpuTxVersion::V2 => CardConfig::paper_v2(window),
+        GpuTxVersion::V3 => CardConfig::paper_v3(window),
+    };
+    NodeConfig {
+        gpus: vec![GpuArch::Fermi2050],
+        card,
+        ..NodeConfig::default()
+    }
+}
+
+/// The default benchmark configuration: the final (v3) engine with a
+/// 128 KB in-flight cap, as the headline Fig. 6–10 results use.
+pub fn cluster_i_default() -> NodeConfig {
+    cluster_i_node(GpuTxVersion::V3, 128 * 1024)
+}
+
+/// The HSG application setup: same cluster, but the torus links ran at
+/// 20 Gbps (Fig. 11 caption: "PCIe Gen2 X8, Link 20Gbps").
+pub fn cluster_i_hsg() -> NodeConfig {
+    let mut cfg = cluster_i_default();
+    cfg.card.link_gbps = 20;
+    cfg
+}
+
+/// The single-node SuperMicro/PLX platform of the Table I and Fig. 3
+/// measurements, with a selectable GPU.
+pub fn plx_node(arch: GpuArch, version: GpuTxVersion, window: u64) -> NodeConfig {
+    let mut cfg = cluster_i_node(version, window);
+    cfg.gpus = vec![arch];
+    cfg
+}
+
+/// The BAR1-transport variant of the PLX platform: the card reads GPU
+/// memory through the BAR1 aperture instead of the P2P protocol (the
+/// direction §VI calls "more promising" on Kepler).
+pub fn plx_node_bar1(arch: GpuArch, window: u64) -> NodeConfig {
+    let mut cfg = plx_node(arch, GpuTxVersion::V3, window);
+    cfg.card.gpu_read = GpuReadMethod::Bar1;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_i_is_8_nodes() {
+        assert_eq!(cluster_i_dims().nodes(), 8);
+    }
+
+    #[test]
+    fn hsg_links_run_at_20g() {
+        assert_eq!(cluster_i_hsg().card.link_gbps, 20);
+        assert_eq!(cluster_i_default().card.link_gbps, 28);
+    }
+
+    #[test]
+    fn plx_node_takes_any_arch() {
+        let n = plx_node(GpuArch::KeplerK20, GpuTxVersion::V3, 65536);
+        assert_eq!(n.gpus, vec![GpuArch::KeplerK20]);
+    }
+}

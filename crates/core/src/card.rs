@@ -1,0 +1,690 @@
+//! The assembled APEnet+ card.
+//!
+//! The card is a [`Device`] state machine: the cluster layer feeds it
+//! [`CardIn`] events and routes its [`CardOut`] effects (self-timers,
+//! torus transmissions, host notifications). All datapath timing — GPU
+//! read prefetching, Nios II task contention, TX FIFO occupancy, torus
+//! serialization, RX processing — is computed here against the shared
+//! PCIe fabric and GPU models.
+
+use crate::config::{CardConfig, GpuReadMethod, GpuTxVersion, TxSinkMode};
+use crate::coord::{Coord, LinkDir, TorusDims};
+use crate::gpu_tx::FetchPlan;
+use crate::nios::{BufEntry, BufKind, BufList, GpuV2p, HostV2p, Nios, PageDesc};
+use crate::packet::{ApePacket, MsgId, APE_MAX_PAYLOAD};
+use crate::torus::TorusLink;
+use apenet_gpu::cuda::CudaDevice;
+use apenet_gpu::mem::Memory;
+use apenet_gpu::GPU_PAGE_SIZE;
+use apenet_pcie::fabric::{DeviceId, Fabric};
+use apenet_pcie::server::ReadServer;
+use apenet_pcie::tlp::TlpKind;
+use apenet_sim::{Bandwidth, ByteFifo, Device, Outbox, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A local GPU as seen by the card: its PCIe endpoint and device model.
+#[derive(Clone)]
+pub struct GpuHandle {
+    /// The GPU's endpoint on the host PCIe fabric.
+    pub pcie_dev: DeviceId,
+    /// The device model (memory, P2P engine, …).
+    pub cuda: Rc<RefCell<CudaDevice>>,
+}
+
+/// The firmware-visible registration state (BUF_LIST + V2P maps), shared
+/// between the card and the host driver: the driver populates it during
+/// buffer registration, the RX datapath consults it per packet.
+#[derive(Default)]
+pub struct Firmware {
+    /// The registered-buffer list with its linear traversal cost.
+    pub buf_list: BufList,
+    /// Host virtual-to-physical map.
+    pub host_v2p: HostV2p,
+    /// One 4-level page table per local GPU.
+    pub gpu_v2p: Vec<GpuV2p>,
+}
+
+impl Firmware {
+    /// Create firmware state for a card with `n_gpus` local GPUs.
+    pub fn new(n_gpus: usize) -> Self {
+        Firmware {
+            buf_list: BufList::new(),
+            host_v2p: HostV2p::new(),
+            gpu_v2p: (0..n_gpus).map(|_| GpuV2p::new()).collect(),
+        }
+    }
+
+    /// Register a host buffer (driver side of the registration call).
+    pub fn register_host(&mut self, vaddr: u64, len: u64, pid: u32) -> usize {
+        for page in (vaddr..vaddr + len.max(1)).step_by(apenet_gpu::HOST_PAGE_SIZE as usize) {
+            self.host_v2p.insert(page, page); // identity "physical" model
+        }
+        self.buf_list.register(BufEntry { vaddr, len, kind: BufKind::Host, pid })
+    }
+
+    /// Register a GPU buffer: fills the per-GPU V2P table with one page
+    /// descriptor per 64 KB page, as the P2P mapping flow does.
+    pub fn register_gpu(&mut self, gpu: apenet_gpu::GpuId, vaddr: u64, len: u64, pid: u32) -> usize {
+        let table = &mut self.gpu_v2p[gpu.0 as usize];
+        let first = vaddr / GPU_PAGE_SIZE;
+        let last = (vaddr + len.max(1) - 1) / GPU_PAGE_SIZE;
+        for p in first..=last {
+            table.insert(
+                p * GPU_PAGE_SIZE,
+                PageDesc { phys: p * GPU_PAGE_SIZE, token: 0xA9E0_0000 | gpu.0 as u64 },
+            );
+        }
+        self.buf_list.register(BufEntry { vaddr, len, kind: BufKind::Gpu(gpu), pid })
+    }
+}
+
+/// Everything the card shares with the rest of its host.
+#[derive(Clone)]
+pub struct CardShared {
+    /// The host PCIe fabric.
+    pub fabric: Rc<RefCell<Fabric>>,
+    /// The card's endpoint on that fabric.
+    pub nic_dev: DeviceId,
+    /// The host-memory target endpoint.
+    pub hostmem_dev: DeviceId,
+    /// Host memory contents.
+    pub hostmem: Rc<RefCell<Memory>>,
+    /// Host-memory read completer (2.4 GB/s in Table I).
+    pub host_read: Rc<RefCell<ReadServer>>,
+    /// Local GPUs.
+    pub gpus: Vec<GpuHandle>,
+    /// Registration state.
+    pub firmware: Rc<RefCell<Firmware>>,
+}
+
+/// A TX request descriptor pushed by the host driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxDesc {
+    /// Message id.
+    pub msg: MsgId,
+    /// Destination node.
+    pub dst: Coord,
+    /// Destination UVA address.
+    pub dst_vaddr: u64,
+    /// Message length in bytes.
+    pub len: u64,
+    /// Source UVA address.
+    pub src_addr: u64,
+    /// Source buffer kind.
+    pub src_kind: BufKind,
+}
+
+/// Events consumed by the card.
+#[derive(Debug, Clone)]
+pub enum CardIn {
+    /// The host driver posts a transmission.
+    TxSubmit(TxDesc),
+    /// A packet arrives from a torus link (or the loop-back path).
+    RxPacket(ApePacket),
+    /// Data for TX job `job` arrived from the source memory.
+    FetchArrived {
+        /// TX job id.
+        job: u32,
+        /// Offset within the message.
+        offset: u64,
+        /// Bytes arrived.
+        len: u32,
+    },
+    /// A staged packet finished its Nios bookkeeping and may enter the FIFO.
+    PushReady {
+        /// TX job id.
+        job: u32,
+        /// The sealed packet.
+        packet: ApePacket,
+    },
+    /// The TX FIFO head finished serializing; advance the drain.
+    DrainNext,
+}
+
+/// Effects produced by the card, routed by the cluster layer.
+#[derive(Debug, Clone)]
+pub enum CardOut {
+    /// Deliver back to this card after the attached delay.
+    ToSelf(CardIn),
+    /// A packet leaves on the torus link in direction `dir`; the delay
+    /// already accounts for serialization and cable latency.
+    TorusSend {
+        /// Outgoing link direction.
+        dir: LinkDir,
+        /// The packet.
+        packet: ApePacket,
+    },
+    /// A complete message landed in a local buffer (RX completion event).
+    Delivered {
+        /// Message id.
+        msg: MsgId,
+        /// Destination address it landed at.
+        dst_vaddr: u64,
+        /// Message length.
+        len: u64,
+    },
+    /// The TX side finished fetching and enqueuing a message.
+    TxComplete {
+        /// Message id.
+        msg: MsgId,
+    },
+}
+
+/// Datapath counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CardStats {
+    /// Bytes fetched from TX source memory (host or GPU).
+    pub tx_bytes_fetched: u64,
+    /// Packets injected into the TX FIFO.
+    pub tx_packets: u64,
+    /// Packets extracted for local RX.
+    pub rx_packets: u64,
+    /// Payload bytes written to local destination buffers.
+    pub rx_bytes: u64,
+    /// Transit packets forwarded by the router.
+    pub forwarded: u64,
+    /// Packets dropped on CRC failure.
+    pub crc_errors: u64,
+    /// Packets dropped because no registered buffer matched.
+    pub rx_unmatched: u64,
+}
+
+struct TxJob {
+    desc: TxDesc,
+    plan: FetchPlan,
+    pushed: u64,
+}
+
+/// The APEnet+ card model.
+pub struct Card {
+    /// This card's torus coordinates.
+    pub coord: Coord,
+    /// Torus dimensions.
+    pub dims: TorusDims,
+    /// Calibration constants.
+    pub cfg: CardConfig,
+    shared: CardShared,
+    /// The Nios II task server.
+    pub nios: Nios,
+    links_out: [Option<Rc<RefCell<TorusLink>>>; 6],
+    tx_jobs: HashMap<u32, TxJob>,
+    next_job: u32,
+    /// GPU-source jobs are processed one at a time by the GPU_P2P_TX
+    /// engine; this queue holds the waiting ones.
+    gpu_job_queue: VecDeque<u32>,
+    gpu_job_active: Option<u32>,
+    tx_fifo: ByteFifo<ApePacket>,
+    push_wait: VecDeque<(u32, ApePacket)>,
+    tx_since_fault: u32,
+    staged_pending: u64,
+    outstanding_total: u64,
+    draining: bool,
+    rx_msgs: HashMap<MsgId, (u64, u64)>, // received bytes, lowest dst_vaddr seen
+    /// Datapath counters.
+    pub stats: CardStats,
+}
+
+impl Card {
+    /// Build a card at `coord` on a torus of `dims`.
+    pub fn new(coord: Coord, dims: TorusDims, cfg: CardConfig, shared: CardShared) -> Self {
+        let fifo = ByteFifo::with_default_watermark(cfg.tx_fifo_bytes);
+        Card {
+            coord,
+            dims,
+            cfg,
+            shared,
+            nios: Nios::new(),
+            links_out: [None, None, None, None, None, None],
+            tx_jobs: HashMap::new(),
+            next_job: 0,
+            gpu_job_queue: VecDeque::new(),
+            gpu_job_active: None,
+            tx_fifo: fifo,
+            push_wait: VecDeque::new(),
+            tx_since_fault: 0,
+            staged_pending: 0,
+            outstanding_total: 0,
+            draining: false,
+            rx_msgs: HashMap::new(),
+            stats: CardStats::default(),
+        }
+    }
+
+    /// Wire the outgoing torus link for `dir`.
+    pub fn set_link(&mut self, dir: LinkDir, link: Rc<RefCell<TorusLink>>) {
+        self.links_out[dir.index()] = Some(link);
+    }
+
+    /// The shared host/PCIe/GPU handles.
+    pub fn shared(&self) -> &CardShared {
+        &self.shared
+    }
+
+    /// Free downstream space available for new read requests: FIFO space
+    /// not yet claimed by in-flight data. (Per-packet Nios bookkeeping for
+    /// the *next* window overlaps the data arrival of the current one, so
+    /// staged-but-unpushed bytes do not gate issuing; the small overlap
+    /// spill is absorbed by `push_wait`, which stands in for the header
+    /// FIFO elasticity of the real datapath.)
+    fn issue_budget(&self) -> u64 {
+        self.tx_fifo.free().saturating_sub(self.outstanding_total)
+    }
+
+    /// Start the next queued GPU-source job, paying the per-message
+    /// engine setup (the Fig. 3 initial delay).
+    fn activate_next_gpu_job(&mut self, now: SimTime, out: &mut Outbox<CardOut>) {
+        debug_assert!(self.gpu_job_active.is_none());
+        let Some(job_id) = self.gpu_job_queue.pop_front() else { return };
+        self.gpu_job_active = Some(job_id);
+        let (_s, e) = self.nios.run(now, self.cfg.tx_gpu_setup());
+        let ready = e + self.cfg.tx_gpu_hw_setup();
+        // Re-enter through a self event at `ready` (len 0 = kick).
+        out.push(
+            ready.since(now),
+            CardOut::ToSelf(CardIn::FetchArrived { job: job_id, offset: 0, len: 0 }),
+        );
+    }
+
+    /// Issue as many source reads as the engine generation allows.
+    fn issue_fetches(&mut self, job_id: u32, now: SimTime, out: &mut Outbox<CardOut>) {
+        // GPU jobs may only fetch while they hold the engine.
+        if self
+            .tx_jobs
+            .get(&job_id)
+            .is_some_and(|j| matches!(j.desc.src_kind, BufKind::Gpu(_)))
+            && self.gpu_job_active != Some(job_id)
+        {
+            return;
+        }
+        loop {
+            let budget = self.issue_budget();
+            let almost_full = self.tx_fifo.almost_full();
+            let Some(job) = self.tx_jobs.get_mut(&job_id) else { return };
+            let Some(n) = job.plan.next_issue(budget, almost_full) else { return };
+            let offset = job.plan.requested;
+            let src_kind = job.desc.src_kind;
+            // v1 pays Nios software time per request *before* issuing it.
+            let req_ready = if matches!(src_kind, BufKind::Gpu(_)) && self.cfg.gpu_tx == GpuTxVersion::V1 {
+                let cost = self.cfg.tx_v1_per_chunk;
+                self.nios.run(now, cost).1
+            } else {
+                now
+            };
+            let job = self.tx_jobs.get_mut(&job_id).expect("job exists");
+            let arrive = match src_kind {
+                BufKind::Gpu(_) => {
+                    let gpu = match src_kind {
+                        BufKind::Gpu(id) => self.shared.gpus[id.0 as usize].clone(),
+                        BufKind::Host => unreachable!(),
+                    };
+                    // BAR1 reads need the source range mapped into the
+                    // aperture first — once per buffer, and expensive
+                    // ("a full reconfiguration of the GPU").
+                    let mut req_ready = req_ready;
+                    let src = job.desc.src_addr + offset;
+                    if self.cfg.gpu_read == GpuReadMethod::Bar1 {
+                        let mut cuda = gpu.cuda.borrow_mut();
+                        if !cuda.bar1.is_mapped(job.desc.src_addr, job.desc.len.max(1)) {
+                            let cost = cuda
+                                .bar1
+                                .map(job.desc.src_addr, job.desc.len.max(1))
+                                .expect("BAR1 aperture exhausted");
+                            req_ready += cost;
+                        }
+                    }
+                    let mut fabric = self.shared.fabric.borrow_mut();
+                    // Read request toward the GPU...
+                    let req = fabric.send_tlp(req_ready, self.shared.nic_dev, gpu.pcie_dev, TlpKind::MemRead, 0);
+                    // ...served by the P2P engine or the BAR1 aperture...
+                    let cpl = match self.cfg.gpu_read {
+                        GpuReadMethod::P2p => gpu.cuda.borrow_mut().p2p.serve_read(req.arrive, n),
+                        GpuReadMethod::Bar1 => gpu
+                            .cuda
+                            .borrow_mut()
+                            .bar1
+                            .serve_read(req.arrive, src, n)
+                            .expect("BAR1 range mapped above"),
+                    };
+                    // ...completion data streams back over the fabric.
+                    let st = fabric.send_stream(cpl.first, gpu.pcie_dev, self.shared.nic_dev, TlpKind::Completion, n, apenet_pcie::MAX_PAYLOAD);
+                    st.arrive.max(cpl.last)
+                }
+                BufKind::Host => {
+                    let mut fabric = self.shared.fabric.borrow_mut();
+                    let req = fabric.send_tlp(req_ready, self.shared.nic_dev, self.shared.hostmem_dev, TlpKind::MemRead, 0);
+                    let cpl = self.shared.host_read.borrow_mut().serve(req.arrive, n);
+                    let st = fabric.send_stream(cpl.first, self.shared.hostmem_dev, self.shared.nic_dev, TlpKind::Completion, n, apenet_pcie::MAX_PAYLOAD);
+                    st.arrive.max(cpl.last)
+                }
+            };
+            job.plan.issued(n);
+            self.outstanding_total += n;
+            out.push(
+                arrive.since(now),
+                CardOut::ToSelf(CardIn::FetchArrived { job: job_id, offset, len: n as u32 }),
+            );
+        }
+    }
+
+    fn read_source(&self, job: &TxJob, offset: u64, len: u32) -> Vec<u8> {
+        let addr = job.desc.src_addr + offset;
+        match job.desc.src_kind {
+            BufKind::Host => self
+                .shared
+                .hostmem
+                .borrow_mut()
+                .read_vec(addr, len as u64)
+                .expect("TX source range was validated at registration"),
+            BufKind::Gpu(id) => self.shared.gpus[id.0 as usize]
+                .cuda
+                .borrow_mut()
+                .mem
+                .read_vec(addr, len as u64)
+                .expect("TX source range was validated at registration"),
+        }
+    }
+
+    fn make_packet(&self, job: &TxJob, offset: u64, len: u32) -> ApePacket {
+        let payload = if len == 0 { Vec::new() } else { self.read_source(job, offset, len) };
+        ApePacket::new(
+            job.desc.dst,
+            self.coord,
+            job.desc.msg,
+            job.desc.dst_vaddr + offset,
+            job.desc.len,
+            payload,
+        )
+    }
+
+    /// Stage the packets of an arrived fetch through the per-packet Nios
+    /// bookkeeping (GPU sources only; the kernel driver already did this
+    /// work for host sources).
+    fn stage_packets(&mut self, job_id: u32, offset: u64, len: u32, now: SimTime, out: &mut Outbox<CardOut>) {
+        let Some(job) = self.tx_jobs.get(&job_id) else { return };
+        let gpu_src = matches!(job.desc.src_kind, BufKind::Gpu(_));
+        let per_packet = self.cfg.tx_per_packet();
+        let mut pieces: Vec<(u64, u32)> = Vec::new();
+        if len == 0 {
+            pieces.push((0, 0));
+        } else {
+            let mut off = offset;
+            let mut rem = len;
+            while rem > 0 {
+                let n = rem.min(APE_MAX_PAYLOAD);
+                pieces.push((off, n));
+                off += n as u64;
+                rem -= n;
+            }
+        }
+        for (off, n) in pieces {
+            let ready = if gpu_src && self.cfg.gpu_tx != GpuTxVersion::V1 {
+                // v1 already paid its Nios cost at request time.
+                self.nios.run(now, per_packet).1
+            } else {
+                now
+            };
+            let job = self.tx_jobs.get(&job_id).expect("job exists");
+            let packet = self.make_packet(job, off, n);
+            out.push(
+                ready.since(now),
+                CardOut::ToSelf(CardIn::PushReady { job: job_id, packet }),
+            );
+        }
+    }
+
+    /// Fault injection: flip a payload bit in every Nth transmitted
+    /// packet when configured (models a marginal torus cable; the
+    /// receiver's CRC must catch it).
+    fn maybe_corrupt(&mut self, mut packet: ApePacket) -> ApePacket {
+        if let Some(n) = self.cfg.tx_bit_error_every {
+            self.tx_since_fault += 1;
+            if self.tx_since_fault >= n && !packet.payload.is_empty() {
+                self.tx_since_fault = 0;
+                let idx = packet.payload.len() / 2;
+                packet.payload[idx] ^= 0x10;
+            }
+        }
+        packet
+    }
+
+    fn kick_drain(&mut self, now: SimTime, out: &mut Outbox<CardOut>) {
+        if self.draining {
+            return;
+        }
+        let Some((_bytes, packet)) = self.tx_fifo.pop() else { return };
+        self.draining = true;
+        match self.cfg.tx_sink {
+            TxSinkMode::Flush => {
+                // Fig. 4 mode: the packet evaporates at the switch.
+                out.push(SimDuration::ZERO, CardOut::ToSelf(CardIn::DrainNext));
+            }
+            TxSinkMode::Torus => {
+                if packet.dst == self.coord {
+                    // Loop-back through the internal switch.
+                    let serialize = Bandwidth::from_gb_per_sec(4).time_for(packet.wire_bytes());
+                    let transit = self.cfg.loopback_transit + serialize;
+                    out.push(transit, CardOut::ToSelf(CardIn::RxPacket(packet)));
+                    out.push(serialize, CardOut::ToSelf(CardIn::DrainNext));
+                } else {
+                    let dir = self
+                        .dims
+                        .next_hop(self.coord, packet.dst)
+                        .expect("non-local packet has a route");
+                    let link = self.links_out[dir.index()]
+                        .as_ref()
+                        .expect("torus link wired")
+                        .clone();
+                    let slot = link.borrow_mut().reserve(now, packet.wire_bytes());
+                    let packet = self.maybe_corrupt(packet);
+                    out.push(slot.arrive.since(now), CardOut::TorusSend { dir, packet });
+                    out.push(slot.depart_end.since(now), CardOut::ToSelf(CardIn::DrainNext));
+                }
+            }
+        }
+    }
+
+    fn try_push(&mut self, job_id: u32, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
+        let len = packet.len();
+        match self.tx_fifo.push(packet.wire_bytes(), packet) {
+            Ok(()) => {
+                self.staged_pending = self.staged_pending.saturating_sub(len);
+                self.stats.tx_packets += 1;
+                if let Some(job) = self.tx_jobs.get_mut(&job_id) {
+                    job.pushed += len;
+                    let done = job.plan.done() && job.pushed == job.desc.len;
+                    let msg = job.desc.msg;
+                    if done {
+                        self.tx_jobs.remove(&job_id);
+                        out.push(SimDuration::ZERO, CardOut::TxComplete { msg });
+                        if self.gpu_job_active == Some(job_id) {
+                            // Release the GPU_P2P_TX engine for the next
+                            // queued message.
+                            self.gpu_job_active = None;
+                            self.activate_next_gpu_job(now, out);
+                        }
+                    }
+                }
+                self.kick_drain(now, out);
+            }
+            Err(packet) => {
+                self.push_wait.push_back((job_id, packet));
+            }
+        }
+    }
+
+    /// Handle an extracted packet addressed to this node.
+    fn rx_local(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
+        if !packet.verify() {
+            self.stats.crc_errors += 1;
+            return;
+        }
+        self.stats.rx_packets += 1;
+        let fw = self.shared.firmware.borrow();
+        let (entry, bl_cost) = fw.buf_list.lookup(packet.dst_vaddr, packet.len());
+        let Some(entry) = entry else {
+            drop(fw);
+            self.stats.rx_unmatched += 1;
+            return;
+        };
+        let (v2p_cost, gpu_extra) = match entry.kind {
+            BufKind::Host => (fw.host_v2p.walk(packet.dst_vaddr).1, SimDuration::ZERO),
+            BufKind::Gpu(id) => (
+                fw.gpu_v2p[id.0 as usize].walk(packet.dst_vaddr).1,
+                self.cfg.rx_gpu_extra,
+            ),
+        };
+        drop(fw);
+        let task = self.cfg.rx_packet_base + bl_cost + v2p_cost + gpu_extra;
+        let (_s, nios_done) = self.nios.run(now, task);
+        // Write the payload to the destination memory over the fabric.
+        let len = packet.len();
+        let done = match entry.kind {
+            BufKind::Host => {
+                let mut fabric = self.shared.fabric.borrow_mut();
+                let st = fabric.send_stream(nios_done, self.shared.nic_dev, self.shared.hostmem_dev, TlpKind::MemWrite, len, apenet_pcie::MAX_PAYLOAD);
+                if len > 0 {
+                    self.shared
+                        .hostmem
+                        .borrow_mut()
+                        .write(packet.dst_vaddr, &packet.payload)
+                        .expect("registered RX buffer is in range");
+                }
+                st.arrive
+            }
+            BufKind::Gpu(id) => {
+                let gpu = self.shared.gpus[id.0 as usize].clone();
+                let mut fabric = self.shared.fabric.borrow_mut();
+                let st = fabric.send_stream(nios_done, self.shared.nic_dev, gpu.pcie_dev, TlpKind::MemWrite, len, apenet_pcie::MAX_PAYLOAD);
+                let mut cuda = gpu.cuda.borrow_mut();
+                let wend = cuda.p2p.absorb_write(nios_done, packet.dst_vaddr, len);
+                if len > 0 {
+                    cuda.mem
+                        .write(packet.dst_vaddr, &packet.payload)
+                        .expect("registered RX buffer is in range");
+                }
+                st.arrive.max(wend)
+            }
+        };
+        self.stats.rx_bytes += len;
+        let entry = self
+            .rx_msgs
+            .entry(packet.msg)
+            .or_insert((0, packet.dst_vaddr));
+        entry.0 += len;
+        entry.1 = entry.1.min(packet.dst_vaddr);
+        if entry.0 >= packet.msg_len {
+            let base = entry.1;
+            self.rx_msgs.remove(&packet.msg);
+            // Completion notification (event-queue write the host polls).
+            let (_s, note_done) = self.nios.run(done, self.cfg.rx_notify);
+            out.push(
+                note_done.since(now),
+                CardOut::Delivered {
+                    msg: packet.msg,
+                    dst_vaddr: base,
+                    len: packet.msg_len,
+                },
+            );
+        }
+    }
+
+    fn forward(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
+        self.stats.forwarded += 1;
+        let dir = self
+            .dims
+            .next_hop(self.coord, packet.dst)
+            .expect("transit packet has a route");
+        let link = self.links_out[dir.index()]
+            .as_ref()
+            .expect("torus link wired")
+            .clone();
+        let slot = link
+            .borrow_mut()
+            .reserve(now + self.cfg.router_forward, packet.wire_bytes());
+        out.push(slot.arrive.since(now), CardOut::TorusSend { dir, packet });
+    }
+}
+
+impl Device for Card {
+    type In = CardIn;
+    type Out = CardOut;
+
+    fn handle(&mut self, now: SimTime, ev: CardIn, out: &mut Outbox<CardOut>) {
+        match ev {
+            CardIn::TxSubmit(desc) => {
+                let job_id = self.next_job;
+                self.next_job += 1;
+                let gpu_src = matches!(desc.src_kind, BufKind::Gpu(_));
+                let (version, window) = if gpu_src {
+                    (self.cfg.gpu_tx, self.cfg.prefetch_window)
+                } else {
+                    // Host sources always pipeline: the kernel driver keeps
+                    // the injection queue full (§III.B).
+                    (GpuTxVersion::V3, self.cfg.tx_fifo_bytes)
+                };
+                let plan = FetchPlan::new(version, window, desc.len);
+                let len = desc.len;
+                self.tx_jobs.insert(job_id, TxJob { desc, plan, pushed: 0 });
+                if gpu_src {
+                    // GPU jobs serialize through the GPU_P2P_TX engine.
+                    self.gpu_job_queue.push_back(job_id);
+                    if self.gpu_job_active.is_none() {
+                        self.activate_next_gpu_job(now, out);
+                    }
+                } else if len == 0 {
+                    // Header-only message: stage one empty packet.
+                    out.push(
+                        SimDuration::ZERO,
+                        CardOut::ToSelf(CardIn::FetchArrived { job: job_id, offset: 0, len: 0 }),
+                    );
+                } else {
+                    self.issue_fetches(job_id, now, out);
+                }
+            }
+            CardIn::FetchArrived { job, offset, len } => {
+                if len > 0 {
+                    self.outstanding_total = self.outstanding_total.saturating_sub(len as u64);
+                    self.staged_pending += len as u64;
+                    if let Some(j) = self.tx_jobs.get_mut(&job) {
+                        j.plan.arrived_bytes(len as u64);
+                        self.stats.tx_bytes_fetched += len as u64;
+                    }
+                    self.stage_packets(job, offset, len, now, out);
+                } else if self.tx_jobs.get(&job).is_some_and(|j| j.desc.len == 0) {
+                    // The zero-length sentinel packet.
+                    self.stage_packets(job, 0, 0, now, out);
+                }
+                self.issue_fetches(job, now, out);
+            }
+            CardIn::PushReady { job, packet } => {
+                self.try_push(job, packet, now, out);
+            }
+            CardIn::DrainNext => {
+                self.draining = false;
+                while let Some((job_id, packet)) = self.push_wait.pop_front() {
+                    if self.tx_fifo.fits(packet.wire_bytes()) {
+                        self.try_push(job_id, packet, now, out);
+                    } else {
+                        self.push_wait.push_front((job_id, packet));
+                        break;
+                    }
+                }
+                self.kick_drain(now, out);
+                let jobs: Vec<u32> = self.tx_jobs.keys().copied().collect();
+                for j in jobs {
+                    self.issue_fetches(j, now, out);
+                }
+            }
+            CardIn::RxPacket(packet) => {
+                if packet.dst == self.coord {
+                    self.rx_local(packet, now, out);
+                } else {
+                    self.forward(packet, now, out);
+                }
+            }
+        }
+    }
+}

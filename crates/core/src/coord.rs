@@ -1,0 +1,288 @@
+//! 3D torus coordinates and dimension-ordered routing.
+//!
+//! "The Router implements a dimension-ordered static routing algorithm and
+//! directly controls an 8-ports switch, with 6 ports connecting the
+//! external torus link blocks (X+, X−, Y+, Y−, Z+, Z−) and 2 local packet
+//! injection/extraction ports" (§III.B).
+
+use std::fmt;
+
+/// A node position on the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// X position.
+    pub x: u8,
+    /// Y position.
+    pub y: u8,
+    /// Z position.
+    pub z: u8,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    pub const fn new(x: u8, y: u8, z: u8) -> Self {
+        Coord { x, y, z }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// The six torus link directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    /// X+.
+    Xp,
+    /// X−.
+    Xm,
+    /// Y+.
+    Yp,
+    /// Y−.
+    Ym,
+    /// Z+.
+    Zp,
+    /// Z−.
+    Zm,
+}
+
+impl LinkDir {
+    /// All six directions in port order.
+    pub const ALL: [LinkDir; 6] = [
+        LinkDir::Xp,
+        LinkDir::Xm,
+        LinkDir::Yp,
+        LinkDir::Ym,
+        LinkDir::Zp,
+        LinkDir::Zm,
+    ];
+
+    /// Port index (0..6).
+    pub const fn index(self) -> usize {
+        match self {
+            LinkDir::Xp => 0,
+            LinkDir::Xm => 1,
+            LinkDir::Yp => 2,
+            LinkDir::Ym => 3,
+            LinkDir::Zp => 4,
+            LinkDir::Zm => 5,
+        }
+    }
+
+    /// The direction a packet arrives from when sent along `self`.
+    pub const fn opposite(self) -> LinkDir {
+        match self {
+            LinkDir::Xp => LinkDir::Xm,
+            LinkDir::Xm => LinkDir::Xp,
+            LinkDir::Yp => LinkDir::Ym,
+            LinkDir::Ym => LinkDir::Yp,
+            LinkDir::Zp => LinkDir::Zm,
+            LinkDir::Zm => LinkDir::Zp,
+        }
+    }
+}
+
+/// Torus dimensions, e.g. the paper's 4×2×1 Cluster I.
+///
+/// ```
+/// use apenet_core::coord::{Coord, TorusDims};
+///
+/// let dims = TorusDims::new(4, 2, 1); // Cluster I
+/// // Dimension-ordered routing corrects X before Y:
+/// let mut at = Coord::new(0, 0, 0);
+/// let dst = Coord::new(3, 1, 0);
+/// let mut hops = 0;
+/// while let Some(dir) = dims.next_hop(at, dst) {
+///     at = dims.neighbor(at, dir);
+///     hops += 1;
+/// }
+/// assert_eq!(at, dst);
+/// assert_eq!(hops, dims.hops(Coord::new(0, 0, 0), dst)); // 1 (wrap) + 1
+/// assert_eq!(hops, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TorusDims {
+    /// Ring length along X.
+    pub x: u8,
+    /// Ring length along Y.
+    pub y: u8,
+    /// Ring length along Z.
+    pub z: u8,
+}
+
+impl TorusDims {
+    /// Construct torus dimensions (each ≥ 1).
+    pub const fn new(x: u8, y: u8, z: u8) -> Self {
+        assert!(x >= 1 && y >= 1 && z >= 1);
+        TorusDims { x, y, z }
+    }
+
+    /// Number of nodes.
+    pub const fn nodes(self) -> usize {
+        self.x as usize * self.y as usize * self.z as usize
+    }
+
+    /// Linear rank of a coordinate (x fastest).
+    pub fn rank_of(self, c: Coord) -> usize {
+        c.x as usize + self.x as usize * (c.y as usize + self.y as usize * c.z as usize)
+    }
+
+    /// Coordinate of a linear rank.
+    pub fn coord_of(self, rank: usize) -> Coord {
+        let x = (rank % self.x as usize) as u8;
+        let y = ((rank / self.x as usize) % self.y as usize) as u8;
+        let z = (rank / (self.x as usize * self.y as usize)) as u8;
+        assert!(z < self.z, "rank out of range");
+        Coord { x, y, z }
+    }
+
+    /// The neighbour of `c` in direction `d` (with wrap-around).
+    pub fn neighbor(self, c: Coord, d: LinkDir) -> Coord {
+        let step = |v: u8, n: u8, up: bool| -> u8 {
+            if up {
+                if v + 1 == n { 0 } else { v + 1 }
+            } else if v == 0 {
+                n - 1
+            } else {
+                v - 1
+            }
+        };
+        match d {
+            LinkDir::Xp => Coord { x: step(c.x, self.x, true), ..c },
+            LinkDir::Xm => Coord { x: step(c.x, self.x, false), ..c },
+            LinkDir::Yp => Coord { y: step(c.y, self.y, true), ..c },
+            LinkDir::Ym => Coord { y: step(c.y, self.y, false), ..c },
+            LinkDir::Zp => Coord { z: step(c.z, self.z, true), ..c },
+            LinkDir::Zm => Coord { z: step(c.z, self.z, false), ..c },
+        }
+    }
+
+    /// Signed shortest displacement from `a` to `b` along a ring of
+    /// length `n` (positive = plus direction; ties go to plus).
+    fn ring_delta(a: u8, b: u8, n: u8) -> i16 {
+        let fwd = (b as i16 - a as i16).rem_euclid(n as i16);
+        let bwd = fwd - n as i16;
+        if fwd <= -bwd {
+            fwd
+        } else {
+            bwd
+        }
+    }
+
+    /// The dimension-ordered (X, then Y, then Z) next hop from `at` toward
+    /// `dst`; `None` when `at == dst`.
+    pub fn next_hop(self, at: Coord, dst: Coord) -> Option<LinkDir> {
+        if at == dst {
+            return None;
+        }
+        let dx = Self::ring_delta(at.x, dst.x, self.x);
+        if dx != 0 {
+            return Some(if dx > 0 { LinkDir::Xp } else { LinkDir::Xm });
+        }
+        let dy = Self::ring_delta(at.y, dst.y, self.y);
+        if dy != 0 {
+            return Some(if dy > 0 { LinkDir::Yp } else { LinkDir::Ym });
+        }
+        let dz = Self::ring_delta(at.z, dst.z, self.z);
+        if dz != 0 {
+            return Some(if dz > 0 { LinkDir::Zp } else { LinkDir::Zm });
+        }
+        None
+    }
+
+    /// Number of hops on the dimension-ordered route from `a` to `b`.
+    pub fn hops(self, a: Coord, b: Coord) -> u32 {
+        Self::ring_delta(a.x, b.x, self.x).unsigned_abs() as u32
+            + Self::ring_delta(a.y, b.y, self.y).unsigned_abs() as u32
+            + Self::ring_delta(a.z, b.z, self.z).unsigned_abs() as u32
+    }
+
+    /// All coordinates, in rank order.
+    pub fn iter(self) -> impl Iterator<Item = Coord> {
+        (0..self.nodes()).map(move |r| self.coord_of(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: TorusDims = TorusDims::new(4, 2, 1); // the paper's Cluster I
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        for r in 0..C1.nodes() {
+            assert_eq!(C1.rank_of(C1.coord_of(r)), r);
+        }
+        assert_eq!(C1.nodes(), 8);
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let d = TorusDims::new(4, 2, 1);
+        let c = Coord::new(3, 0, 0);
+        assert_eq!(d.neighbor(c, LinkDir::Xp), Coord::new(0, 0, 0));
+        assert_eq!(d.neighbor(Coord::new(0, 0, 0), LinkDir::Xm), Coord::new(3, 0, 0));
+        assert_eq!(d.neighbor(c, LinkDir::Yp), Coord::new(3, 1, 0));
+        assert_eq!(d.neighbor(c, LinkDir::Ym), Coord::new(3, 1, 0), "ring of 2");
+        // Z ring of 1: neighbour is self.
+        assert_eq!(d.neighbor(c, LinkDir::Zp), c);
+    }
+
+    #[test]
+    fn neighbor_opposite_inverts() {
+        let d = TorusDims::new(4, 3, 2);
+        for c in d.iter() {
+            for dir in LinkDir::ALL {
+                let n = d.neighbor(c, dir);
+                assert_eq!(d.neighbor(n, dir.opposite()), c, "{c} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_order_x_first() {
+        let d = TorusDims::new(4, 2, 1);
+        let a = Coord::new(0, 0, 0);
+        let b = Coord::new(2, 1, 0);
+        // X distance 2 (either way); ties go plus. Then Y.
+        assert_eq!(d.next_hop(a, b), Some(LinkDir::Xp));
+        let mid = d.neighbor(a, LinkDir::Xp);
+        assert_eq!(d.next_hop(mid, b), Some(LinkDir::Xp));
+        let mid2 = d.neighbor(mid, LinkDir::Xp);
+        assert_eq!(d.next_hop(mid2, b), Some(LinkDir::Yp));
+        assert_eq!(d.next_hop(b, b), None);
+    }
+
+    #[test]
+    fn shortest_direction_chosen() {
+        let d = TorusDims::new(4, 1, 1);
+        // 0 -> 3 is one hop backwards.
+        assert_eq!(
+            d.next_hop(Coord::new(0, 0, 0), Coord::new(3, 0, 0)),
+            Some(LinkDir::Xm)
+        );
+        assert_eq!(d.hops(Coord::new(0, 0, 0), Coord::new(3, 0, 0)), 1);
+        assert_eq!(d.hops(Coord::new(0, 0, 0), Coord::new(2, 0, 0)), 2);
+    }
+
+    #[test]
+    fn route_always_terminates() {
+        let d = TorusDims::new(4, 2, 3);
+        for a in d.iter() {
+            for b in d.iter() {
+                let mut at = a;
+                let mut steps = 0;
+                while let Some(h) = d.next_hop(at, b) {
+                    at = d.neighbor(at, h);
+                    steps += 1;
+                    assert!(steps <= 16, "routing loop {a}->{b}");
+                }
+                assert_eq!(at, b);
+                assert_eq!(steps, d.hops(a, b), "{a}->{b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! GPU_P2P_TX fetch planning: how much GPU data each engine generation
+//! keeps in flight.
+//!
+//! * **v1** — "able to process a single packet request of up to 4 KB":
+//!   one outstanding chunk, each preceded by Nios software work.
+//! * **v2** — "an hardware acceleration block which generates the read
+//!   requests … a pre-fetch logic which attempts to hide the response
+//!   latency": one prefetch *window* outstanding at a time (block-wise,
+//!   "related to the size of the transmission buffers").
+//! * **v3** — "the new flow-control block is able to pre-fetch an
+//!   unlimited amount of data so as to keep the GPU read request queue
+//!   full, while at the same time back-reacting to almost-full conditions
+//!   of the different on-board temporary buffers": continuous chunking
+//!   gated by FIFO occupancy.
+
+use crate::config::GpuTxVersion;
+use crate::packet::APE_MAX_PAYLOAD;
+
+/// The fetch-planning state of one in-flight GPU-source message.
+#[derive(Debug, Clone)]
+pub struct FetchPlan {
+    version: GpuTxVersion,
+    window: u64,
+    /// Total message bytes.
+    pub total: u64,
+    /// Bytes whose read requests have been issued.
+    pub requested: u64,
+    /// Bytes that have arrived from the GPU.
+    pub arrived: u64,
+}
+
+impl FetchPlan {
+    /// Plan a fetch of `total` bytes with the given engine generation and
+    /// prefetch window.
+    pub fn new(version: GpuTxVersion, window: u64, total: u64) -> Self {
+        assert!(window > 0);
+        FetchPlan {
+            version,
+            window,
+            total,
+            requested: 0,
+            arrived: 0,
+        }
+    }
+
+    /// Bytes in flight (requested, not yet arrived).
+    pub fn outstanding(&self) -> u64 {
+        self.requested - self.arrived
+    }
+
+    /// True when every byte has arrived.
+    pub fn done(&self) -> bool {
+        self.arrived == self.total
+    }
+
+    /// Decide the size of the next read to issue, given how many bytes of
+    /// staging space are free downstream and whether the TX FIFO asserts
+    /// almost-full. Returns `None` when nothing should be issued now.
+    pub fn next_issue(&self, staging_free: u64, almost_full: bool) -> Option<u64> {
+        let remaining = self.total - self.requested;
+        if remaining == 0 {
+            return None;
+        }
+        match self.version {
+            GpuTxVersion::V1 => {
+                // One chunk of ≤4 KB outstanding at a time. Never emit a
+                // runt chunk because of momentary FIFO pressure: wait for
+                // space instead, so packets stay page-aligned.
+                if self.outstanding() > 0 {
+                    return None;
+                }
+                let n = remaining.min(APE_MAX_PAYLOAD as u64);
+                (n <= staging_free).then_some(n)
+            }
+            GpuTxVersion::V2 => {
+                // Block-wise: a whole window, only when the previous one
+                // fully arrived and it fits downstream.
+                if self.outstanding() > 0 {
+                    return None;
+                }
+                let n = remaining.min(self.window);
+                (n <= staging_free && n > 0).then_some(n)
+            }
+            GpuTxVersion::V3 => {
+                // Continuous chunks while the in-flight cap and the FIFO
+                // watermark allow.
+                if almost_full || self.outstanding() >= self.window {
+                    return None;
+                }
+                // Full packets only (the message tail may be shorter):
+                // issuing runt chunks under FIFO pressure would fragment
+                // the stream into sub-4K packets and waste Nios slots.
+                let n = remaining.min(APE_MAX_PAYLOAD as u64);
+                (n <= staging_free).then_some(n)
+            }
+        }
+    }
+
+    /// Record that a read of `bytes` was issued.
+    pub fn issued(&mut self, bytes: u64) {
+        self.requested += bytes;
+        debug_assert!(self.requested <= self.total);
+    }
+
+    /// Record that `bytes` arrived from the GPU.
+    pub fn arrived_bytes(&mut self, bytes: u64) {
+        self.arrived += bytes;
+        debug_assert!(self.arrived <= self.requested);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FREE: u64 = 1 << 20;
+
+    #[test]
+    fn v1_single_4k_chunk() {
+        let mut p = FetchPlan::new(GpuTxVersion::V1, 4096, 10_000);
+        assert_eq!(p.next_issue(FREE, false), Some(4096));
+        p.issued(4096);
+        assert_eq!(p.next_issue(FREE, false), None, "single outstanding");
+        p.arrived_bytes(4096);
+        assert_eq!(p.next_issue(FREE, false), Some(4096));
+        p.issued(4096);
+        p.arrived_bytes(4096);
+        assert_eq!(p.next_issue(FREE, false), Some(10_000 - 8192), "tail");
+        p.issued(10_000 - 8192);
+        p.arrived_bytes(10_000 - 8192);
+        assert!(p.done());
+        assert_eq!(p.next_issue(FREE, false), None);
+    }
+
+    #[test]
+    fn v2_blockwise_window() {
+        let mut p = FetchPlan::new(GpuTxVersion::V2, 16 * 1024, 100 * 1024);
+        assert_eq!(p.next_issue(FREE, false), Some(16 * 1024));
+        p.issued(16 * 1024);
+        p.arrived_bytes(8 * 1024);
+        assert_eq!(p.next_issue(FREE, false), None, "window not complete");
+        p.arrived_bytes(8 * 1024);
+        assert_eq!(p.next_issue(FREE, false), Some(16 * 1024));
+        // Window must fit the free staging space.
+        assert_eq!(p.next_issue(8 * 1024, false), None);
+    }
+
+    #[test]
+    fn v2_ignores_almost_full_flag() {
+        // v2 has no flow-control feedback; only space gating applies.
+        let p = FetchPlan::new(GpuTxVersion::V2, 4096, 4096);
+        assert_eq!(p.next_issue(FREE, true), Some(4096));
+    }
+
+    #[test]
+    fn v3_pipelines_until_cap_or_watermark() {
+        let mut p = FetchPlan::new(GpuTxVersion::V3, 64 * 1024, 1 << 20);
+        let mut issued = 0;
+        while let Some(n) = p.next_issue(FREE, false) {
+            p.issued(n);
+            issued += n;
+            if issued >= 64 * 1024 {
+                break;
+            }
+        }
+        assert_eq!(p.outstanding(), 64 * 1024, "in-flight cap reached");
+        assert_eq!(p.next_issue(FREE, false), None);
+        // Back-pressure pauses issuing even with outstanding room.
+        p.arrived_bytes(4096);
+        assert_eq!(p.next_issue(FREE, true), None, "almost-full pauses v3");
+        assert_eq!(p.next_issue(FREE, false), Some(4096));
+    }
+
+    #[test]
+    fn zero_length_message_is_immediately_done() {
+        let p = FetchPlan::new(GpuTxVersion::V3, 4096, 0);
+        assert!(p.done());
+        assert_eq!(p.next_issue(FREE, false), None);
+    }
+}

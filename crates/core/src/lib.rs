@@ -1,0 +1,33 @@
+//! # apenet-core — the APEnet+ card
+//!
+//! The paper's prototype: an FPGA (Altera Stratix IV) network card for a 3D
+//! torus interconnect, with a PCIe Gen2 x8 host interface and direct
+//! peer-to-peer access to NVIDIA GPUs. The model reproduces the structures
+//! the paper identifies as performance-relevant:
+//!
+//! * [`coord`] — 3D torus coordinates and the dimension-ordered router's
+//!   next-hop function;
+//! * [`packet`] — the APEnet+ packet format (header with destination
+//!   coordinates and 64-bit destination virtual address, ≤4 KB payload);
+//! * [`torus`] — the serializing torus links (28 Gbps in the benchmark
+//!   setups, 20 Gbps in the HSG runs);
+//! * [`nios`] — the Nios II micro-controller as a serial task server, plus
+//!   the data structures its firmware maintains: the `BUF_LIST` (linear
+//!   traversal!) and the 4-level `GPU_V2P` page table;
+//! * [`gpu_tx`] — the three generations of the GPU memory reading engine
+//!   (`GPU_P2P_TX` v1/v2/v3) whose evolution Figs. 4–5 trace;
+//! * [`card`] — the assembled card: TX/RX datapaths, router, loop-back and
+//!   flush-TX test modes.
+
+pub mod card;
+pub mod config;
+pub mod coord;
+pub mod gpu_tx;
+pub mod nios;
+pub mod packet;
+pub mod torus;
+
+pub use card::{Card, CardIn, CardOut, CardShared, GpuHandle};
+pub use config::{CardConfig, GpuTxVersion};
+pub use coord::{Coord, TorusDims};
+pub use packet::{ApePacket, APE_MAX_PAYLOAD};

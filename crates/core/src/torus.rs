@@ -1,0 +1,124 @@
+//! Torus link model.
+//!
+//! Each of the six external link blocks is a serializing channel. The
+//! figure captions give the signalling rate: "Link 28Gbps" for the
+//! bandwidth/latency benchmarks, "Link 20Gbps" for the HSG runs (the
+//! torus transceivers were clocked lower on that setup).
+
+use apenet_sim::{Bandwidth, SimDuration, SimTime};
+
+/// One direction of one torus cable between two adjacent cards.
+#[derive(Debug, Clone)]
+pub struct TorusLink {
+    rate: Bandwidth,
+    latency: SimDuration,
+    busy_until: SimTime,
+    carried: u64,
+}
+
+/// Timing of one packet transmission on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSlot {
+    /// Serialization start.
+    pub start: SimTime,
+    /// Last byte leaves the transmitter.
+    pub depart_end: SimTime,
+    /// Packet fully received at the neighbour.
+    pub arrive: SimTime,
+}
+
+impl TorusLink {
+    /// A link with the given signalling rate in Gbps and cable+SerDes
+    /// latency.
+    pub fn new_gbps(gbps: u64, latency: SimDuration) -> Self {
+        TorusLink {
+            rate: Bandwidth::from_gbit_per_sec(gbps),
+            latency,
+            busy_until: SimTime::ZERO,
+            carried: 0,
+        }
+    }
+
+    /// The paper's benchmark setup: 28 Gbps, ~500 ns cable+SerDes latency.
+    pub fn paper_28g() -> Self {
+        Self::new_gbps(28, SimDuration::from_ns(500))
+    }
+
+    /// The HSG setup: 20 Gbps links.
+    pub fn paper_20g() -> Self {
+        Self::new_gbps(20, SimDuration::from_ns(500))
+    }
+
+    /// Data rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Reserve transmission of `wire_bytes` starting no earlier than
+    /// `ready`; transmissions are strictly serialized.
+    pub fn reserve(&mut self, ready: SimTime, wire_bytes: u64) -> LinkSlot {
+        let start = ready.max(self.busy_until);
+        let depart_end = start + self.rate.time_for(wire_bytes);
+        self.busy_until = depart_end;
+        self.carried += wire_bytes;
+        LinkSlot {
+            start,
+            depart_end,
+            arrive: depart_end + self.latency,
+        }
+    }
+
+    /// When the link next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total wire bytes carried.
+    pub fn carried(&self) -> u64 {
+        self.carried
+    }
+
+    /// Forget occupancy.
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.carried = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_28gbps_is_3_5_gbs() {
+        let l = TorusLink::paper_28g();
+        assert_eq!(l.rate().bytes_per_sec(), 3_500_000_000);
+    }
+
+    #[test]
+    fn serialization_and_latency() {
+        let mut l = TorusLink::new_gbps(28, SimDuration::from_ns(500));
+        // 4128 wire bytes at 3.5 GB/s ≈ 1.18 us
+        let a = l.reserve(SimTime::ZERO, 4128);
+        let b = l.reserve(SimTime::ZERO, 4128);
+        assert_eq!(b.start, a.depart_end);
+        assert_eq!(a.arrive, a.depart_end + SimDuration::from_ns(500));
+        assert_eq!(l.carried(), 2 * 4128);
+    }
+
+    #[test]
+    fn hsg_link_is_slower() {
+        let fast = TorusLink::paper_28g();
+        let slow = TorusLink::paper_20g();
+        assert!(slow.rate() < fast.rate());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut l = TorusLink::paper_28g();
+        l.reserve(SimTime::ZERO, 1000);
+        l.reset();
+        assert_eq!(l.carried(), 0);
+        assert_eq!(l.busy_until(), SimTime::ZERO);
+    }
+}

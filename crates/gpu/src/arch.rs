@@ -1,0 +1,203 @@
+//! Per-architecture constants.
+//!
+//! Every number here is taken from the paper (Table I, §V.A, §V.B) or from
+//! the public datasheets of the boards the test clusters used.
+
+use apenet_sim::{Bandwidth, SimDuration};
+
+/// The GPU models appearing in the paper's two clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuArch {
+    /// Tesla C2050 (Fermi, 3 GB) — seven of the eight Cluster I nodes.
+    Fermi2050,
+    /// Tesla C2070 (Fermi, 6 GB) — the eighth Cluster I node.
+    Fermi2070,
+    /// Tesla S2075 module GPU (Fermi, 6 GB) — Cluster II, two per node.
+    Fermi2075,
+    /// Tesla K10 (Kepler GK104) — early-result preview in Table I.
+    KeplerK10,
+    /// Pre-release K20 (Kepler GK110, ECC on in the paper's test).
+    KeplerK20,
+}
+
+/// The externally observable performance envelope of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchSpec {
+    /// Marketing/model name.
+    pub name: &'static str,
+    /// Device memory size in bytes.
+    pub mem_bytes: u64,
+    /// Sustained completion rate of the P2P read protocol as measured from
+    /// a third-party device (1536 MB/s on Fermi — "seems architectural").
+    pub p2p_read_rate: Bandwidth,
+    /// First-data latency of a P2P read at the GPU. The paper's 1.8 µs
+    /// (Fig. 3) is what the *bus analyzer on the NIC slot* sees — i.e.
+    /// this value plus the request/completion transit across the fabric.
+    pub p2p_head_latency: SimDuration,
+    /// Sustained read rate through the BAR1 aperture (150 MB/s on Fermi,
+    /// 1.6 GB/s on Kepler — "a more impressive factor 10").
+    pub bar1_read_rate: Bandwidth,
+    /// First-data latency of BAR1 reads (ordinary MMIO round trip).
+    pub bar1_head_latency: SimDuration,
+    /// Absorption rate for inbound P2P writes ("the GPU has no problem
+    /// sustaining the PCIe X8 Gen2 traffic").
+    pub p2p_write_rate: Bandwidth,
+    /// GPU DMA-engine rate for `cudaMemcpy` D2H/H2D (~5.5 GB/s, §V.B).
+    pub dma_rate: Bandwidth,
+    /// BAR1 aperture size (32-bit BIOS constraint: "a few hundreds of
+    /// megabytes, so it is a scarce resource").
+    pub bar1_aperture: u64,
+    /// Whether ECC was enabled in the paper's measurement of this part.
+    pub ecc: bool,
+    /// Per-spin over-relaxation kernel throughput class (see
+    /// `apenet-apps::hsg::cost`): relative speed factor, 1.0 = C2050.
+    pub compute_factor: f64,
+}
+
+impl GpuArch {
+    /// The constants table.
+    pub const fn spec(self) -> ArchSpec {
+        match self {
+            GpuArch::Fermi2050 => ArchSpec {
+                name: "Tesla C2050 (Fermi)",
+                mem_bytes: 3 * (1 << 30),
+                p2p_read_rate: Bandwidth::from_mb_per_sec(1536),
+                p2p_head_latency: SimDuration::from_ns(1100),
+                bar1_read_rate: Bandwidth::from_mb_per_sec(150),
+                bar1_head_latency: SimDuration::from_ns(900),
+                p2p_write_rate: Bandwidth::from_mb_per_sec(5500),
+                dma_rate: Bandwidth::from_mb_per_sec(5500),
+                bar1_aperture: 256 * (1 << 20),
+                ecc: false,
+                compute_factor: 1.0,
+            },
+            GpuArch::Fermi2070 => ArchSpec {
+                name: "Tesla C2070 (Fermi)",
+                mem_bytes: 6 * (1 << 30),
+                ..GpuArch::Fermi2050.spec()
+            },
+            GpuArch::Fermi2075 => ArchSpec {
+                name: "Tesla S2075 (Fermi)",
+                mem_bytes: 6 * (1 << 30),
+                ..GpuArch::Fermi2050.spec()
+            },
+            GpuArch::KeplerK10 => ArchSpec {
+                name: "Tesla K10 (Kepler GK104)",
+                mem_bytes: 4 * (1 << 30),
+                p2p_read_rate: Bandwidth::from_mb_per_sec(1600),
+                p2p_head_latency: SimDuration::from_ns(1000),
+                bar1_read_rate: Bandwidth::from_mb_per_sec(1600),
+                bar1_head_latency: SimDuration::from_ns(800),
+                p2p_write_rate: Bandwidth::from_mb_per_sec(6000),
+                dma_rate: Bandwidth::from_mb_per_sec(6000),
+                bar1_aperture: 256 * (1 << 20),
+                ecc: false,
+                compute_factor: 1.3,
+            },
+            GpuArch::KeplerK20 => ArchSpec {
+                name: "K20 pre-release (Kepler GK110)",
+                mem_bytes: 5 * (1 << 30),
+                p2p_read_rate: Bandwidth::from_mb_per_sec(1600),
+                p2p_head_latency: SimDuration::from_ns(1000),
+                bar1_read_rate: Bandwidth::from_mb_per_sec(1600),
+                bar1_head_latency: SimDuration::from_ns(800),
+                p2p_write_rate: Bandwidth::from_mb_per_sec(6000),
+                dma_rate: Bandwidth::from_mb_per_sec(6000),
+                bar1_aperture: 256 * (1 << 20),
+                ecc: true,
+                compute_factor: 1.8,
+            },
+        }
+    }
+
+    /// True for the Kepler generation (public BAR1 API since CUDA 5.0).
+    pub const fn is_kepler(self) -> bool {
+        matches!(self, GpuArch::KeplerK10 | GpuArch::KeplerK20)
+    }
+}
+
+impl ArchSpec {
+    /// The spec with ECC toggled. Enabling ECC on GDDR5 costs 1/8 of the
+    /// capacity (the syndrome is carved out of data memory on these
+    /// parts) and ~10% of every memory-path rate; Table I's footnotes
+    /// ("ECC is off on both clusters", "Kepler results … with ECC
+    /// enabled") make the states explicit, and the K20 row already bakes
+    /// ECC-on in. This lets experiments flip the switch.
+    pub fn with_ecc(mut self, ecc: bool) -> ArchSpec {
+        if ecc == self.ecc {
+            return self;
+        }
+        if ecc {
+            self.mem_bytes -= self.mem_bytes / 8;
+            self.p2p_read_rate = self.p2p_read_rate.scaled(9, 10);
+            self.bar1_read_rate = self.bar1_read_rate.scaled(9, 10);
+            self.p2p_write_rate = self.p2p_write_rate.scaled(9, 10);
+            self.dma_rate = self.dma_rate.scaled(9, 10);
+        } else {
+            self.mem_bytes = self.mem_bytes / 7 * 8;
+            self.p2p_read_rate = self.p2p_read_rate.scaled(10, 9);
+            self.bar1_read_rate = self.bar1_read_rate.scaled(10, 9);
+            self.p2p_write_rate = self.p2p_write_rate.scaled(10, 9);
+            self.dma_rate = self.dma_rate.scaled(10, 9);
+        }
+        self.ecc = ecc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rates() {
+        let fermi = GpuArch::Fermi2050.spec();
+        assert_eq!(fermi.p2p_read_rate.mb_per_sec_f64(), 1536.0);
+        assert_eq!(fermi.bar1_read_rate.mb_per_sec_f64(), 150.0);
+        let k20 = GpuArch::KeplerK20.spec();
+        assert_eq!(k20.p2p_read_rate.mb_per_sec_f64(), 1600.0);
+        assert_eq!(k20.bar1_read_rate.mb_per_sec_f64(), 1600.0);
+        // "a more impressive factor 10" Fermi BAR1 vs Kepler BAR1
+        assert!(k20.bar1_read_rate.bytes_per_sec() / fermi.bar1_read_rate.bytes_per_sec() >= 10);
+    }
+
+    #[test]
+    fn memory_sizes_match_boards() {
+        assert_eq!(GpuArch::Fermi2050.spec().mem_bytes, 3 << 30);
+        assert_eq!(GpuArch::Fermi2070.spec().mem_bytes, 6 << 30);
+        assert_eq!(GpuArch::Fermi2075.spec().mem_bytes, 6 << 30);
+    }
+
+    #[test]
+    fn kepler_flag() {
+        assert!(!GpuArch::Fermi2070.is_kepler());
+        assert!(GpuArch::KeplerK20.is_kepler());
+    }
+
+    #[test]
+    fn ecc_toggle_derates_and_costs_capacity() {
+        let off = GpuArch::Fermi2050.spec();
+        let on = off.with_ecc(true);
+        assert!(on.mem_bytes < off.mem_bytes);
+        assert!(on.p2p_read_rate < off.p2p_read_rate);
+        assert!(on.dma_rate < off.dma_rate);
+        assert!(on.ecc);
+        // Toggling is idempotent at fixed state.
+        assert_eq!(on.with_ecc(true), on);
+        // K20 ships with ECC on in the paper; turning it off frees rate.
+        let k20 = GpuArch::KeplerK20.spec();
+        let k20_off = k20.with_ecc(false);
+        assert!(k20_off.p2p_read_rate > k20.p2p_read_rate);
+        assert!(!k20_off.ecc);
+    }
+
+    #[test]
+    fn head_latency_fermi() {
+        // 1.1 us at the GPU; ~1.8 us as seen from the NIC slot (Fig. 3).
+        assert_eq!(
+            GpuArch::Fermi2075.spec().p2p_head_latency,
+            SimDuration::from_ns(1100)
+        );
+        assert!(GpuArch::KeplerK20.spec().p2p_head_latency < GpuArch::Fermi2075.spec().p2p_head_latency);
+    }
+}

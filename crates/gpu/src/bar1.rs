@@ -1,0 +1,156 @@
+//! The BAR1 aperture: the alternative access method for third-party
+//! devices (§III, public API since CUDA 5.0 on Kepler).
+//!
+//! "With BAR1 it is possible to expose … a region of device memory on the
+//! second PCIe memory-mapped address space of the GPU … this address space
+//! is limited to a few hundreds of megabytes, so it is a scarce resource.
+//! Additionally, mapping a GPU memory buffer is an expensive operation,
+//! which requires a full reconfiguration of the GPU."
+
+use crate::arch::ArchSpec;
+use apenet_pcie::server::{Completion, ReadServer};
+use apenet_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Errors from BAR1 aperture management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bar1Error {
+    /// The mapping would exceed the aperture budget.
+    ApertureExhausted,
+    /// The access touches device memory not currently mapped.
+    NotMapped,
+    /// Unmapping a range that is not mapped.
+    BadUnmap,
+}
+
+/// The BAR1 window of one GPU.
+#[derive(Debug, Clone)]
+pub struct Bar1 {
+    aperture: u64,
+    mapped: BTreeMap<u64, u64>, // device addr -> len
+    in_use: u64,
+    read: ReadServer,
+    map_cost: SimDuration,
+}
+
+impl Bar1 {
+    /// Build from an architecture spec.
+    pub fn new(spec: &ArchSpec) -> Self {
+        Bar1 {
+            aperture: spec.bar1_aperture,
+            mapped: BTreeMap::new(),
+            in_use: 0,
+            read: ReadServer::new(spec.bar1_head_latency, spec.bar1_read_rate),
+            // "an expensive operation, which requires a full
+            // reconfiguration of the GPU": order-of-milliseconds.
+            map_cost: SimDuration::from_ms(2),
+        }
+    }
+
+    /// Aperture budget in bytes.
+    pub fn aperture(&self) -> u64 {
+        self.aperture
+    }
+
+    /// Bytes currently mapped.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Map `len` bytes of device memory at `dev_addr` into BAR1; returns
+    /// the (large) time cost of the reconfiguration.
+    pub fn map(&mut self, dev_addr: u64, len: u64) -> Result<SimDuration, Bar1Error> {
+        if self.in_use + len > self.aperture {
+            return Err(Bar1Error::ApertureExhausted);
+        }
+        self.mapped.insert(dev_addr, len);
+        self.in_use += len;
+        Ok(self.map_cost)
+    }
+
+    /// Remove a mapping created by [`Bar1::map`].
+    pub fn unmap(&mut self, dev_addr: u64) -> Result<(), Bar1Error> {
+        match self.mapped.remove(&dev_addr) {
+            Some(len) => {
+                self.in_use -= len;
+                Ok(())
+            }
+            None => Err(Bar1Error::BadUnmap),
+        }
+    }
+
+    /// True when `addr..addr+len` is covered by one mapping.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        self.mapped
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(&base, &mlen)| addr + len <= base + mlen)
+    }
+
+    /// Serve a PCIe read of `bytes` at device address `addr`.
+    pub fn serve_read(&mut self, arrive: SimTime, addr: u64, bytes: u64) -> Result<Completion, Bar1Error> {
+        if !self.is_mapped(addr, bytes) {
+            return Err(Bar1Error::NotMapped);
+        }
+        Ok(self.read.serve(arrive, bytes))
+    }
+
+    /// Forget read-engine occupancy but keep mappings.
+    pub fn reset_timing(&mut self) {
+        self.read.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+    use apenet_sim::Bandwidth;
+
+    #[test]
+    fn fermi_bar1_is_slow_kepler_is_fast() {
+        let mut fermi = Bar1::new(&GpuArch::Fermi2050.spec());
+        let mut k20 = Bar1::new(&GpuArch::KeplerK20.spec());
+        fermi.map(0, 1 << 20).unwrap();
+        k20.map(0, 1 << 20).unwrap();
+        let cf = fermi.serve_read(SimTime::ZERO, 0, 1 << 20).unwrap();
+        let ck = k20.serve_read(SimTime::ZERO, 0, 1 << 20).unwrap();
+        let bf = Bandwidth::measured(1 << 20, cf.last.since(cf.first));
+        let bk = Bandwidth::measured(1 << 20, ck.last.since(ck.first));
+        assert!((bf.mb_per_sec_f64() - 150.0).abs() < 1.0);
+        assert!((bk.mb_per_sec_f64() - 1600.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn aperture_budget_enforced() {
+        let mut b = Bar1::new(&GpuArch::KeplerK20.spec());
+        assert_eq!(b.aperture(), 256 << 20);
+        b.map(0, 200 << 20).unwrap();
+        assert_eq!(b.map(1 << 30, 100 << 20), Err(Bar1Error::ApertureExhausted));
+        b.unmap(0).unwrap();
+        assert_eq!(b.in_use(), 0);
+        b.map(1 << 30, 100 << 20).unwrap();
+    }
+
+    #[test]
+    fn unmapped_access_rejected() {
+        let mut b = Bar1::new(&GpuArch::KeplerK20.spec());
+        b.map(4096, 8192).unwrap();
+        assert!(b.is_mapped(4096, 8192));
+        assert!(b.is_mapped(8192, 4096));
+        assert!(!b.is_mapped(0, 1));
+        assert!(!b.is_mapped(4096, 8193));
+        assert_eq!(
+            b.serve_read(SimTime::ZERO, 0, 64).unwrap_err(),
+            Bar1Error::NotMapped
+        );
+        assert_eq!(b.unmap(0), Err(Bar1Error::BadUnmap));
+    }
+
+    #[test]
+    fn mapping_is_expensive() {
+        let mut b = Bar1::new(&GpuArch::KeplerK20.spec());
+        let cost = b.map(0, 4096).unwrap();
+        assert!(cost >= SimDuration::from_ms(1), "full GPU reconfiguration");
+    }
+}

@@ -1,0 +1,36 @@
+//! # apenet-gpu — the GPU device model
+//!
+//! NVIDIA Fermi- and Kepler-class GPUs as the paper's interconnect sees
+//! them: a device-memory space organised in 64 KB pages behind the
+//! GPUDirect **peer-to-peer** protocol (a two-way read protocol with a
+//! measured 1.8 µs head latency and an architectural sustained-read cap),
+//! a **BAR1** memory-mapped aperture, DMA copy engines (`cudaMemcpy`), and
+//! a minimal CUDA-flavoured host API (contexts, streams, events, UVA
+//! pointer queries) sufficient to write the paper's applications against.
+//!
+//! Data is *real*: device memory has lazily-allocated backing pages, so a
+//! remote PUT that flows through the simulated fabric lands actual bytes.
+
+pub mod arch;
+pub mod bar1;
+pub mod cuda;
+pub mod dma;
+pub mod mem;
+pub mod p2p;
+pub mod uva;
+
+pub use arch::{ArchSpec, GpuArch};
+pub use cuda::{CudaDevice, EventId, StreamId};
+pub use mem::{MemError, Memory};
+pub use uva::{MemKind, PtrAttr, Uva};
+
+/// Index of a GPU within one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuId(pub u8);
+
+/// The GPU page size used by the peer-to-peer protocol: "one page
+/// descriptor for each 64 KB page" (paper §III.A).
+pub const GPU_PAGE_SIZE: u64 = 64 * 1024;
+
+/// The host page size used by HOST_V2P translation.
+pub const HOST_PAGE_SIZE: u64 = 4 * 1024;

@@ -1,0 +1,148 @@
+//! The GPUDirect peer-to-peer engine: the GPU-side half of the protocol.
+//!
+//! Reading GPU memory from a third-party device "is designed around a
+//! two-way protocol between the initiator and the target" (§III.A): the
+//! initiator posts read requests into the GPU's request queue; the GPU
+//! answers with completion data after a head latency, at a sustained rate
+//! the paper found to be architectural (~1536 MB/s on Fermi).
+//!
+//! Writing is "only slightly more difficult than host memory writing, the
+//! only difference being the managing of a sliding window to access
+//! different pages" — modelled as a per-64 KB-page window-switch cost.
+
+use crate::arch::ArchSpec;
+use crate::GPU_PAGE_SIZE;
+use apenet_pcie::server::{Completion, ReadServer};
+use apenet_sim::{SimDuration, SimTime};
+
+/// Depth of the GPU's multiple-outstanding read request queue (§IV Fig. 2,
+/// arrow 1). Initiators must not exceed it; the APEnet+ flow-control block
+/// tracks this credit.
+pub const READ_REQUEST_QUEUE_DEPTH: usize = 32;
+
+/// Granularity of one P2P read request issued by the initiator's hardware.
+pub const READ_REQUEST_BYTES: u64 = 256;
+
+/// The GPU-resident peer-to-peer engine.
+#[derive(Debug, Clone)]
+pub struct P2pEngine {
+    read: ReadServer,
+    write_busy_until: SimTime,
+    write_rate: apenet_sim::Bandwidth,
+    window_switch: SimDuration,
+    last_write_page: Option<u64>,
+    writes_absorbed: u64,
+}
+
+impl P2pEngine {
+    /// Build from an architecture spec.
+    pub fn new(spec: &ArchSpec) -> Self {
+        P2pEngine {
+            read: ReadServer::new(spec.p2p_head_latency, spec.p2p_read_rate),
+            write_busy_until: SimTime::ZERO,
+            write_rate: spec.p2p_write_rate,
+            // Switching the inbound sliding window to another 64 KB page
+            // costs a mailbox round on the bus; this is the source of the
+            // "10% penalty … switching GPU peer-to-peer window before
+            // writing to it" (§V.C).
+            window_switch: SimDuration::from_ns(280),
+            last_write_page: None,
+            writes_absorbed: 0,
+        }
+    }
+
+    /// Serve a read request of `bytes` arriving at `arrive`; returns the
+    /// completion window.
+    pub fn serve_read(&mut self, arrive: SimTime, bytes: u64) -> Completion {
+        self.read.serve(arrive, bytes)
+    }
+
+    /// Bytes served by the read engine so far.
+    pub fn read_served(&self) -> u64 {
+        self.read.served()
+    }
+
+    /// Absorb an inbound P2P write of `bytes` at device address `addr`
+    /// starting at `now`; returns when the write has retired.
+    pub fn absorb_write(&mut self, now: SimTime, addr: u64, bytes: u64) -> SimTime {
+        let page = addr / GPU_PAGE_SIZE;
+        let mut start = now.max(self.write_busy_until);
+        if self.last_write_page != Some(page) {
+            start += self.window_switch;
+            self.last_write_page = Some(page);
+        }
+        let end = start + self.write_rate.time_for(bytes);
+        self.write_busy_until = end;
+        self.writes_absorbed += bytes;
+        end
+    }
+
+    /// Bytes absorbed by the write path so far.
+    pub fn writes_absorbed(&self) -> u64 {
+        self.writes_absorbed
+    }
+
+    /// Forget all occupancy (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.read.reset();
+        self.write_busy_until = SimTime::ZERO;
+        self.last_write_page = None;
+        self.writes_absorbed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+    use apenet_sim::Bandwidth;
+
+    fn engine() -> P2pEngine {
+        P2pEngine::new(&GpuArch::Fermi2050.spec())
+    }
+
+    #[test]
+    fn read_head_latency_and_rate() {
+        let mut e = engine();
+        let c = e.serve_read(SimTime::ZERO, READ_REQUEST_BYTES);
+        assert_eq!(c.first, SimTime::ZERO + SimDuration::from_ns(1100));
+        let dur = c.last.since(c.first);
+        let bw = Bandwidth::measured(READ_REQUEST_BYTES, dur);
+        assert!((bw.mb_per_sec_f64() - 1536.0).abs() < 1.0);
+        assert_eq!(e.read_served(), 256);
+    }
+
+    #[test]
+    fn same_page_writes_stream_without_switch() {
+        let mut e = engine();
+        let base = 0u64;
+        let t1 = e.absorb_write(SimTime::ZERO, base, 4096);
+        let t2 = e.absorb_write(t1, base + 4096, 4096);
+        // Only the first write pays the window switch.
+        let per_write = GpuArch::Fermi2050.spec().p2p_write_rate.time_for(4096);
+        assert_eq!(t1.since(SimTime::ZERO), SimDuration::from_ns(280) + per_write);
+        assert_eq!(t2.since(t1), per_write);
+    }
+
+    #[test]
+    fn page_crossing_pays_switch() {
+        let mut e = engine();
+        let t1 = e.absorb_write(SimTime::ZERO, 0, 4096);
+        let t2 = e.absorb_write(t1, GPU_PAGE_SIZE, 4096);
+        let per_write = GpuArch::Fermi2050.spec().p2p_write_rate.time_for(4096);
+        assert_eq!(t2.since(t1), SimDuration::from_ns(280) + per_write);
+        assert_eq!(e.writes_absorbed(), 8192);
+    }
+
+    #[test]
+    fn reset_restores_idle() {
+        let mut e = engine();
+        e.absorb_write(SimTime::ZERO, 0, 100);
+        e.serve_read(SimTime::ZERO, 100);
+        e.reset();
+        assert_eq!(e.writes_absorbed(), 0);
+        assert_eq!(e.read_served(), 0);
+        let c = e.serve_read(SimTime::ZERO, 1);
+        assert_eq!(c.first, SimTime::ZERO + SimDuration::from_ns(1100));
+    }
+}

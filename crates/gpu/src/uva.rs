@@ -1,0 +1,155 @@
+//! Unified Virtual Addressing.
+//!
+//! With UVA "GPU buffers are assigned unique 64-bit addresses, and they can
+//! be distinguished from plain host memory pointers by using the
+//! `cuPointerGetAttribute()` call" (§IV.A). The [`Uva`] registry owns the
+//! address-space layout of one host: host memory in the low range, each
+//! GPU's device memory in its own 1 TB window.
+
+use crate::mem::Memory;
+use crate::GpuId;
+
+/// Base of the host-memory UVA range.
+pub const HOST_BASE: u64 = 0x0000_1000_0000;
+/// Base of the first GPU's device-memory UVA range.
+pub const GPU_BASE: u64 = 0x7000_0000_0000;
+/// UVA window reserved per GPU.
+pub const GPU_STRIDE: u64 = 0x0100_0000_0000;
+
+/// What kind of memory a UVA pointer refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Plain host memory.
+    Host,
+    /// Device memory of the given GPU.
+    Gpu(GpuId),
+}
+
+/// The result of `cuPointerGetAttribute(CU_POINTER_ATTRIBUTE_P2P_TOKENS)`:
+/// enough information for a third-party device to map the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtrAttr {
+    /// Host or which-GPU classification.
+    pub kind: MemKind,
+    /// The opaque P2P token pair the kernel driver needs (modelled as the
+    /// UVA address-space id).
+    pub p2p_token: u64,
+    /// Secondary per-VA-space token.
+    pub va_space_token: u64,
+}
+
+/// The UVA layout of one host: where host memory and each GPU live.
+#[derive(Debug, Clone, Default)]
+pub struct Uva {
+    gpus: Vec<(GpuId, u64, u64)>, // (id, base, capacity)
+    host: Option<(u64, u64)>,
+}
+
+impl Uva {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The UVA base for GPU `idx`.
+    pub fn gpu_base(idx: u8) -> u64 {
+        GPU_BASE + idx as u64 * GPU_STRIDE
+    }
+
+    /// Register the host memory range.
+    pub fn set_host(&mut self, mem: &Memory) {
+        self.host = Some((mem.base(), mem.capacity()));
+    }
+
+    /// Register a GPU's device memory range.
+    pub fn add_gpu(&mut self, id: GpuId, mem: &Memory) {
+        self.gpus.push((id, mem.base(), mem.capacity()));
+    }
+
+    /// Classify a pointer — the model's `cuPointerGetAttribute`.
+    /// Returns `None` for addresses outside every registered range
+    /// (CUDA would return `CUDA_ERROR_INVALID_VALUE`).
+    pub fn pointer_get_attribute(&self, addr: u64) -> Option<PtrAttr> {
+        for &(id, base, cap) in &self.gpus {
+            if addr >= base && addr < base + cap {
+                return Some(PtrAttr {
+                    kind: MemKind::Gpu(id),
+                    p2p_token: 0xA9E0_0000_0000 | id.0 as u64,
+                    va_space_token: base >> 40,
+                });
+            }
+        }
+        if let Some((base, cap)) = self.host {
+            if addr >= base && addr < base + cap {
+                return Some(PtrAttr {
+                    kind: MemKind::Host,
+                    p2p_token: 0,
+                    va_space_token: 0,
+                });
+            }
+        }
+        None
+    }
+
+    /// Convenience: is this a device pointer?
+    pub fn is_gpu_ptr(&self, addr: u64) -> bool {
+        matches!(
+            self.pointer_get_attribute(addr),
+            Some(PtrAttr {
+                kind: MemKind::Gpu(_),
+                ..
+            })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GPU_PAGE_SIZE, HOST_PAGE_SIZE};
+
+    #[test]
+    fn classification() {
+        let host = Memory::new(HOST_BASE, 1 << 20, HOST_PAGE_SIZE);
+        let g0 = Memory::new(Uva::gpu_base(0), 1 << 20, GPU_PAGE_SIZE);
+        let g1 = Memory::new(Uva::gpu_base(1), 1 << 20, GPU_PAGE_SIZE);
+        let mut uva = Uva::new();
+        uva.set_host(&host);
+        uva.add_gpu(GpuId(0), &g0);
+        uva.add_gpu(GpuId(1), &g1);
+
+        assert_eq!(
+            uva.pointer_get_attribute(HOST_BASE + 100).unwrap().kind,
+            MemKind::Host
+        );
+        assert_eq!(
+            uva.pointer_get_attribute(Uva::gpu_base(0)).unwrap().kind,
+            MemKind::Gpu(GpuId(0))
+        );
+        assert_eq!(
+            uva.pointer_get_attribute(Uva::gpu_base(1) + 512).unwrap().kind,
+            MemKind::Gpu(GpuId(1))
+        );
+        assert!(uva.pointer_get_attribute(0xDEAD).is_none());
+        assert!(uva.is_gpu_ptr(Uva::gpu_base(0) + 1));
+        assert!(!uva.is_gpu_ptr(HOST_BASE + 1));
+    }
+
+    #[test]
+    fn tokens_distinguish_gpus() {
+        let g0 = Memory::new(Uva::gpu_base(0), 1 << 20, GPU_PAGE_SIZE);
+        let g1 = Memory::new(Uva::gpu_base(1), 1 << 20, GPU_PAGE_SIZE);
+        let mut uva = Uva::new();
+        uva.add_gpu(GpuId(0), &g0);
+        uva.add_gpu(GpuId(1), &g1);
+        let t0 = uva.pointer_get_attribute(Uva::gpu_base(0)).unwrap();
+        let t1 = uva.pointer_get_attribute(Uva::gpu_base(1)).unwrap();
+        assert_ne!(t0.p2p_token, t1.p2p_token);
+    }
+
+    #[test]
+    fn gpu_windows_do_not_overlap() {
+        assert!(Uva::gpu_base(0) + GPU_STRIDE <= Uva::gpu_base(1));
+        assert!(Uva::gpu_base(7) > Uva::gpu_base(6));
+    }
+}

@@ -1,0 +1,96 @@
+//! InfiniBand baseline constants.
+
+use apenet_pcie::link::LinkSpec;
+use apenet_sim::{Bandwidth, SimDuration};
+
+/// Configuration of one IB cluster fabric.
+#[derive(Debug, Clone)]
+pub struct IbConfig {
+    /// The HCA's PCIe slot (x4 on Cluster I, x8 on Cluster II).
+    pub pcie: LinkSpec,
+    /// IB 4X QDR payload rate after 8b/10b (≈3.2 GB/s).
+    pub wire: Bandwidth,
+    /// One-way MPI half-round-trip for small host-to-host messages
+    /// (MVAPICH2 over ConnectX-2 class hardware).
+    pub mpi_latency_hh: SimDuration,
+    /// Switch port-to-port forwarding latency.
+    pub switch_latency: SimDuration,
+    /// Eager/rendezvous threshold of the MPI pt2pt protocol.
+    pub eager_threshold: u64,
+    /// Extra one-way cost of the rendezvous handshake.
+    pub rndv_handshake: SimDuration,
+    /// GPU messages above this size use the chunked copy/send pipeline.
+    pub gpu_pipeline_threshold: u64,
+    /// Pipeline chunk size.
+    pub gpu_pipeline_chunk: u64,
+    /// MPI-library bookkeeping per GPU-pointer message (CUDA context
+    /// checks, staging-buffer management) on top of the raw copies.
+    pub gpu_path_overhead: SimDuration,
+    /// `cudaMemcpy` D2H/H2D engine rate (same Fermi parts).
+    pub dma_rate: Bandwidth,
+    /// Host-synchronous overhead of a blocking D2H copy.
+    pub sync_d2h: SimDuration,
+    /// Host-synchronous overhead of a blocking H2D copy.
+    pub sync_h2d: SimDuration,
+}
+
+impl IbConfig {
+    /// Cluster I: ConnectX-2 in a PCIe Gen2 **x4** slot, MTS3600 switch.
+    pub fn cluster_i() -> Self {
+        IbConfig {
+            pcie: LinkSpec::GEN2_X4,
+            ..Self::cluster_ii()
+        }
+    }
+
+    /// Cluster II: ConnectX-2 in a PCIe Gen2 **x8** slot, IS5030 switch —
+    /// where the paper's MVAPICH2/OSU reference numbers were taken.
+    pub fn cluster_ii() -> Self {
+        IbConfig {
+            pcie: LinkSpec::GEN2_X8,
+            wire: Bandwidth::from_mb_per_sec(3200),
+            mpi_latency_hh: SimDuration::from_ns(1900),
+            switch_latency: SimDuration::from_ns(150),
+            eager_threshold: 12 * 1024,
+            rndv_handshake: SimDuration::from_us(4),
+            gpu_pipeline_threshold: 128 * 1024,
+            gpu_pipeline_chunk: 256 * 1024,
+            gpu_path_overhead: SimDuration::from_us(5),
+            dma_rate: Bandwidth::from_mb_per_sec(5500),
+            sync_d2h: SimDuration::from_us(10),
+            sync_h2d: SimDuration::from_ns(500),
+        }
+    }
+
+    /// The end-to-end data bandwidth of one HCA path: the minimum of the
+    /// IB wire and the PCIe slot (with ~91% TLP efficiency).
+    pub fn path_bandwidth(&self) -> Bandwidth {
+        let pcie_eff = self.pcie.raw_rate().scaled(10, 11);
+        self.wire.min(pcie_eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_i_is_x4_limited() {
+        let c1 = IbConfig::cluster_i();
+        let c2 = IbConfig::cluster_ii();
+        assert!(c1.path_bandwidth() < c2.path_bandwidth());
+        // x4 Gen2 ≈ 1.8 GB/s effective, x8 limited by the IB wire.
+        assert!(c1.path_bandwidth().mb_per_sec_f64() < 2000.0);
+        assert_eq!(c2.path_bandwidth(), Bandwidth::from_mb_per_sec(3200));
+    }
+
+    #[test]
+    fn paper_latency_anchor() {
+        // The G-G small-message latency must reconstruct to ≈17.4 us:
+        // HH MPI latency + D2H + H2D + GPU-path bookkeeping.
+        let c = IbConfig::cluster_ii();
+        let total = c.mpi_latency_hh + c.sync_d2h + c.sync_h2d + c.gpu_path_overhead;
+        let us = total.as_us_f64();
+        assert!((16.5..18.5).contains(&us), "{us}");
+    }
+}

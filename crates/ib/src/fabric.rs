@@ -1,0 +1,141 @@
+//! The IB fabric: per-rank HCA send/receive engines around a non-blocking
+//! crossbar switch.
+//!
+//! Unlike the APEnet+ 3D torus, the Mellanox switch is a full crossbar:
+//! flows between disjoint rank pairs never share a link. Congestion only
+//! appears at the endpoints (one serializing send engine and one receive
+//! engine per HCA) — which is precisely why InfiniBand catches up on the
+//! BFS all-to-all at 8 nodes (Table IV) while the 4×2 torus saturates.
+
+use crate::config::IbConfig;
+use apenet_sim::{SimTime};
+
+/// Timing of one fabric-level message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IbSend {
+    /// When the sender's HCA finished sourcing the message.
+    pub sender_free: SimTime,
+    /// When the last byte arrived in the receiver's host memory.
+    pub arrive: SimTime,
+}
+
+/// The switched fabric connecting `n` ranks.
+#[derive(Debug, Clone)]
+pub struct IbFabric {
+    cfg: IbConfig,
+    tx_busy: Vec<SimTime>,
+    rx_busy: Vec<SimTime>,
+    sent_bytes: u64,
+}
+
+impl IbFabric {
+    /// A fabric of `n` ranks.
+    pub fn new(n: usize, cfg: IbConfig) -> Self {
+        IbFabric {
+            cfg,
+            tx_busy: vec![SimTime::ZERO; n],
+            rx_busy: vec![SimTime::ZERO; n],
+            sent_bytes: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IbConfig {
+        &self.cfg
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.tx_busy.len()
+    }
+
+    /// Move `len` host-memory bytes from rank `src` to rank `dst` at the
+    /// verbs level (no MPI protocol cost; see [`crate::mpi`] for that).
+    pub fn send_raw(&mut self, now: SimTime, src: usize, dst: usize, len: u64) -> IbSend {
+        assert_ne!(src, dst, "self-sends never reach the fabric");
+        let bw = self.cfg.path_bandwidth();
+        // Source: serialize on the sender's HCA.
+        let tx_start = now.max(self.tx_busy[src]);
+        let tx_end = tx_start + bw.time_for(len);
+        self.tx_busy[src] = tx_end;
+        // Crossbar hop, then serialize on the receiver's HCA. The receive
+        // can cut through behind the send but never finishes before the
+        // last byte has crossed the switch.
+        let rx_start = (tx_start + self.cfg.switch_latency).max(self.rx_busy[dst]);
+        let rx_end = (rx_start + bw.time_for(len)).max(tx_end + self.cfg.switch_latency);
+        self.rx_busy[dst] = rx_end;
+        self.sent_bytes += len;
+        IbSend {
+            sender_free: tx_end,
+            arrive: rx_end,
+        }
+    }
+
+    /// Total bytes moved.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Forget all occupancy (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        for t in self.tx_busy.iter_mut().chain(self.rx_busy.iter_mut()) {
+            *t = SimTime::ZERO;
+        }
+        self.sent_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apenet_sim::{Bandwidth, SimDuration};
+
+    #[test]
+    fn sender_engine_serializes() {
+        let mut f = IbFabric::new(4, IbConfig::cluster_ii());
+        let a = f.send_raw(SimTime::ZERO, 0, 1, 1 << 20);
+        let b = f.send_raw(SimTime::ZERO, 0, 2, 1 << 20);
+        assert!(b.sender_free > a.sender_free, "same sender serializes");
+        // Distinct pairs are independent.
+        let c = f.send_raw(SimTime::ZERO, 2, 3, 1 << 20);
+        assert_eq!(c.sender_free, a.sender_free);
+    }
+
+    #[test]
+    fn receiver_engine_serializes() {
+        let mut f = IbFabric::new(4, IbConfig::cluster_ii());
+        let a = f.send_raw(SimTime::ZERO, 0, 3, 1 << 20);
+        let b = f.send_raw(SimTime::ZERO, 1, 3, 1 << 20);
+        assert!(b.arrive > a.arrive, "same receiver serializes");
+    }
+
+    #[test]
+    fn rate_matches_path_bandwidth() {
+        let mut f = IbFabric::new(2, IbConfig::cluster_ii());
+        let len = 16u64 << 20;
+        let s = f.send_raw(SimTime::ZERO, 0, 1, len);
+        let bw = Bandwidth::measured(len, s.arrive.since(SimTime::ZERO));
+        let target = IbConfig::cluster_ii().path_bandwidth().mb_per_sec_f64();
+        assert!((bw.mb_per_sec_f64() - target).abs() / target < 0.02, "{bw}");
+        assert_eq!(f.sent_bytes(), len);
+    }
+
+    #[test]
+    fn cluster_i_x4_slower() {
+        let len = 16u64 << 20;
+        let mut f1 = IbFabric::new(2, IbConfig::cluster_i());
+        let mut f2 = IbFabric::new(2, IbConfig::cluster_ii());
+        let t1 = f1.send_raw(SimTime::ZERO, 0, 1, len).arrive;
+        let t2 = f2.send_raw(SimTime::ZERO, 0, 1, len).arrive;
+        assert!(t1 > t2);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut f = IbFabric::new(2, IbConfig::cluster_ii());
+        f.send_raw(SimTime::ZERO, 0, 1, 1 << 20);
+        f.reset();
+        let s = f.send_raw(SimTime::ZERO, 0, 1, 64);
+        assert!(s.sender_free.since(SimTime::ZERO) < SimDuration::from_us(1));
+    }
+}

@@ -1,0 +1,23 @@
+//! # apenet-ib — the InfiniBand / MVAPICH2 baseline
+//!
+//! The comparison system of the paper's evaluation: Mellanox ConnectX-2
+//! HCAs (PCIe Gen2 **x4** on Cluster I — "due to motherboard constraints"
+//! — and **x8** on Cluster II) behind Mellanox crossbar switches, driven
+//! by a CUDA-aware MPI in the style of MVAPICH2 1.9: eager/rendezvous
+//! point-to-point, blocking `cudaMemcpy` staging for small GPU messages,
+//! and a chunked copy/send pipeline for large ones ("a pipelining protocol
+//! above a certain threshold", §V.C).
+//!
+//! The paper's related-work discussion stresses that this software-only
+//! approach "can even hurt performance for medium-size messages" because
+//! the staged copies synchronize the device — exactly the behaviour the
+//! model reproduces against APEnet+ peer-to-peer in Figs. 7 and 9.
+
+pub mod config;
+pub mod fabric;
+pub mod mpi;
+pub mod osu;
+
+pub use config::IbConfig;
+pub use fabric::IbFabric;
+pub use mpi::{CudaAwareMpi, GgTiming};

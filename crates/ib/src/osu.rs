@@ -1,0 +1,61 @@
+//! OSU-micro-benchmark-style drivers over the MPI model ("MVAPICH2 1.9a2
+//! and OSU Micro Benchmarks v3.6 were used for all MPI IB tests", §V).
+
+use crate::mpi::CudaAwareMpi;
+use apenet_sim::{Bandwidth, SimDuration, SimTime};
+
+/// The OSU uni-directional bandwidth test between GPU buffers: a window
+/// of back-to-back sends, steady-state rate over the completion stream.
+pub fn osu_bw_gg(mpi: &mut CudaAwareMpi, size: u64, count: u32) -> Bandwidth {
+    assert!(count >= 2);
+    let mut t = SimTime::ZERO;
+    let mut first = None;
+    let mut last = SimTime::ZERO;
+    for _ in 0..count {
+        let s = mpi.send_gg(t, 0, 1, size);
+        t = s.sender_free;
+        first.get_or_insert(s.complete);
+        last = s.complete;
+    }
+    let span = last.since(first.unwrap());
+    Bandwidth::measured(
+        (count as u64 - 1) * size,
+        span.max(SimDuration::from_ps(1)),
+    )
+}
+
+/// The OSU latency test between GPU buffers: ping-pong, half round trip.
+pub fn osu_latency_gg(mpi: &mut CudaAwareMpi, size: u64, iters: u32) -> SimDuration {
+    let mut t = SimTime::ZERO;
+    let start = t;
+    for _ in 0..iters {
+        let ping = mpi.send_gg(t, 0, 1, size);
+        let pong = mpi.send_gg(ping.complete, 1, 0, size);
+        t = pong.complete;
+    }
+    t.since(start) / (2 * iters as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IbConfig;
+
+    #[test]
+    fn bw_grows_with_size_then_saturates() {
+        let mut mpi = CudaAwareMpi::new(2, IbConfig::cluster_ii());
+        let small = osu_bw_gg(&mut mpi, 8 * 1024, 16);
+        mpi.reset();
+        let large = osu_bw_gg(&mut mpi, 4 << 20, 8);
+        assert!(large.bytes_per_sec() > 3 * small.bytes_per_sec());
+        assert!(large.mb_per_sec_f64() > 2300.0, "{large}");
+    }
+
+    #[test]
+    fn latency_anchor_17_4us() {
+        let mut mpi = CudaAwareMpi::new(2, IbConfig::cluster_ii());
+        let lat = osu_latency_gg(&mut mpi, 32, 10);
+        let us = lat.as_us_f64();
+        assert!((16.0..19.0).contains(&us), "{us}");
+    }
+}

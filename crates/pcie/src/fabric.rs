@@ -1,0 +1,407 @@
+//! PCIe topology: a tree of root complexes, switches and endpoints.
+//!
+//! The paper stresses that GPU peer-to-peer "performance is excellent when
+//! two GPUs share the same PCIe root-complex … otherwise performance may
+//! suffer or malfunctionings can arise" (§III.A). The fabric classifies
+//! every endpoint pair ([`PathClass`]) and charges a latency penalty for
+//! paths that cross the inter-socket QPI on multi-socket platforms.
+
+use crate::link::{Dir, Link, LinkSpec, Reservation};
+use crate::tlp::{self, TlpKind};
+use apenet_sim::trace::SharedSink;
+use apenet_sim::{SimDuration, SimTime};
+
+/// Identifies any node (root complex, switch, endpoint) in a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Root { socket: u8 },
+    Switch { forward_latency: SimDuration },
+    Endpoint { name: &'static str },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    /// Parent node and the link connecting to it (None for roots).
+    up: Option<(usize, usize)>,
+    depth: u32,
+}
+
+/// How two endpoints relate topologically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathClass {
+    /// Same PLX switch or hub: the ideal platform of Table I.
+    SameSwitch,
+    /// Same root complex, different branches.
+    SameRoot,
+    /// Different sockets: traffic crosses QPI (penalized).
+    CrossSocket,
+}
+
+/// The outcome of sending one TLP end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlpArrival {
+    /// When the TLP started serializing on its first link.
+    pub start: SimTime,
+    /// When it fully arrived at the destination.
+    pub arrive: SimTime,
+}
+
+/// A tree-shaped PCIe fabric with per-direction link occupancy.
+///
+/// ```
+/// use apenet_pcie::fabric::plx_platform;
+/// use apenet_pcie::TlpKind;
+/// use apenet_sim::SimTime;
+///
+/// // The Table I "ideal platform": GPU and NIC behind one PLX switch.
+/// let (mut fabric, gpu, nic, _hostmem) = plx_platform();
+/// let tlp = fabric.send_tlp(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 256);
+/// assert!(tlp.arrive > SimTime::ZERO);
+/// // 280 wire bytes crossed the NIC's x8 uplink.
+/// use apenet_pcie::link::Dir;
+/// assert_eq!(fabric.uplink_carried(nic, Dir::Down), 280);
+/// ```
+pub struct Fabric {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    analyzers: Vec<Option<SharedSink>>,
+    /// Latency added once per QPI crossing.
+    pub qpi_penalty: SimDuration,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    /// Create an empty fabric. The default QPI crossing penalty is 400 ns.
+    pub fn new() -> Self {
+        Fabric {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            analyzers: Vec::new(),
+            qpi_penalty: SimDuration::from_ns(400),
+        }
+    }
+
+    /// Add a root complex on CPU socket `socket`.
+    pub fn add_root(&mut self, socket: u8) -> DeviceId {
+        self.nodes.push(Node {
+            kind: NodeKind::Root { socket },
+            up: None,
+            depth: 0,
+        });
+        DeviceId(self.nodes.len() - 1)
+    }
+
+    fn attach(&mut self, parent: DeviceId, kind: NodeKind, spec: LinkSpec, lat: SimDuration) -> DeviceId {
+        let link_id = self.links.len();
+        self.links.push(Link::new(spec, lat));
+        self.analyzers.push(None);
+        let depth = self.nodes[parent.0].depth + 1;
+        self.nodes.push(Node {
+            kind,
+            up: Some((parent.0, link_id)),
+            depth,
+        });
+        DeviceId(self.nodes.len() - 1)
+    }
+
+    /// Add a switch under `parent` with the given uplink.
+    pub fn add_switch(&mut self, parent: DeviceId, spec: LinkSpec, link_latency: SimDuration, forward_latency: SimDuration) -> DeviceId {
+        self.attach(parent, NodeKind::Switch { forward_latency }, spec, link_latency)
+    }
+
+    /// Add a leaf endpoint (GPU, NIC, host-memory target) under `parent`.
+    pub fn add_endpoint(&mut self, parent: DeviceId, name: &'static str, spec: LinkSpec, link_latency: SimDuration) -> DeviceId {
+        self.attach(parent, NodeKind::Endpoint { name }, spec, link_latency)
+    }
+
+    /// Attach a bus-analyzer interposer to the uplink of `dev` — the
+    /// physical setup of paper Fig. 3 ("active interposer sitting between
+    /// the APEnet+ card and the motherboard slot").
+    pub fn attach_analyzer(&mut self, dev: DeviceId, sink: SharedSink) {
+        let (_, link) = self.nodes[dev.0].up.expect("roots have no uplink");
+        self.analyzers[link] = Some(sink);
+    }
+
+    /// The display name of an endpoint.
+    pub fn name(&self, dev: DeviceId) -> &'static str {
+        match self.nodes[dev.0].kind {
+            NodeKind::Endpoint { name } => name,
+            NodeKind::Switch { .. } => "switch",
+            NodeKind::Root { .. } => "root",
+        }
+    }
+
+    fn socket_of(&self, mut n: usize) -> u8 {
+        loop {
+            match self.nodes[n].kind {
+                NodeKind::Root { socket } => return socket,
+                _ => n = self.nodes[n].up.expect("non-root has parent").0,
+            }
+        }
+    }
+
+    /// Lowest common ancestor of two nodes.
+    fn lca(&self, a: usize, b: usize) -> Option<usize> {
+        let (mut x, mut y) = (a, b);
+        while self.nodes[x].depth > self.nodes[y].depth {
+            x = self.nodes[x].up?.0;
+        }
+        while self.nodes[y].depth > self.nodes[x].depth {
+            y = self.nodes[y].up?.0;
+        }
+        while x != y {
+            x = self.nodes[x].up?.0;
+            y = self.nodes[y].up?.0;
+        }
+        Some(x)
+    }
+
+    /// Classify the path between two endpoints.
+    pub fn path_class(&self, a: DeviceId, b: DeviceId) -> PathClass {
+        if self.socket_of(a.0) != self.socket_of(b.0) {
+            return PathClass::CrossSocket;
+        }
+        let lca = self.lca(a.0, b.0).expect("same socket implies common root");
+        match self.nodes[lca].kind {
+            NodeKind::Switch { .. } => PathClass::SameSwitch,
+            _ => PathClass::SameRoot,
+        }
+    }
+
+    /// The ordered node path from `a` to `b` (inclusive of both).
+    fn node_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let cross = self.socket_of(a) != self.socket_of(b);
+        let lca = if cross { None } else { self.lca(a, b) };
+        let mut up = Vec::new();
+        let mut x = a;
+        up.push(x);
+        while Some(x) != lca && self.nodes[x].up.is_some() {
+            x = self.nodes[x].up.unwrap().0;
+            up.push(x);
+        }
+        let mut down = Vec::new();
+        let stop = if cross { None } else { lca };
+        let mut y = b;
+        while Some(y) != stop && self.nodes[y].up.is_some() {
+            down.push(y);
+            y = self.nodes[y].up.unwrap().0;
+        }
+        if cross {
+            down.push(y); // b's root complex
+        }
+        down.reverse();
+        up.extend(down);
+        up
+    }
+
+    /// The link (by id) and direction connecting adjacent nodes `x` → `y`,
+    /// or `None` for the virtual root-to-root (QPI) seam.
+    fn connecting_link(&self, x: usize, y: usize) -> Option<(usize, Dir)> {
+        if let Some((parent, link)) = self.nodes[x].up {
+            if parent == y {
+                return Some((link, Dir::Up));
+            }
+        }
+        if let Some((parent, link)) = self.nodes[y].up {
+            if parent == x {
+                return Some((link, Dir::Down));
+            }
+        }
+        None
+    }
+
+    fn forward_latency_of(&self, node: usize) -> SimDuration {
+        match self.nodes[node].kind {
+            NodeKind::Switch { forward_latency } => forward_latency,
+            // Root complexes forward peer traffic between their ports with a
+            // latency comparable to a switch hop.
+            NodeKind::Root { .. } => SimDuration::from_ns(250),
+            NodeKind::Endpoint { .. } => SimDuration::ZERO,
+        }
+    }
+
+    /// Send one TLP of `kind` with `payload` data bytes from endpoint `from`
+    /// to endpoint `to`, reserving every traversed link store-and-forward.
+    pub fn send_tlp(&mut self, now: SimTime, from: DeviceId, to: DeviceId, kind: TlpKind, payload: u32) -> TlpArrival {
+        let wire = kind.wire_bytes(payload);
+        let path = self.node_path(from.0, to.0);
+        assert!(path.len() >= 2, "from == to or disconnected");
+        let mut ready = now;
+        let mut first_start = None;
+        for w in 0..path.len() - 1 {
+            let (x, y) = (path[w], path[w + 1]);
+            match self.connecting_link(x, y) {
+                Some((link, dir)) => {
+                    let res: Reservation = self.links[link].reserve(ready, dir, wire);
+                    if first_start.is_none() {
+                        first_start = Some(res.start);
+                    }
+                    if let Some(sink) = &self.analyzers[link] {
+                        if sink.enabled() {
+                            sink.record(
+                                res.arrive,
+                                "interposer",
+                                kind.mnemonic(),
+                                format!("len={payload} wire={wire} dir={dir:?}"),
+                            );
+                        }
+                    }
+                    ready = res.arrive;
+                }
+                None => {
+                    // Root-to-root seam: the QPI crossing.
+                    ready += self.qpi_penalty;
+                    first_start.get_or_insert(ready);
+                }
+            }
+            // The node we just arrived at forwards (unless it is the final
+            // destination endpoint).
+            if w + 1 < path.len() - 1 {
+                ready += self.forward_latency_of(y);
+            }
+        }
+        TlpArrival {
+            start: first_start.unwrap(),
+            arrive: ready,
+        }
+    }
+
+    /// Send `len` bytes of data as a stream of `kind` TLPs with payloads of
+    /// at most `chunk` bytes. Returns the arrival time of the final TLP.
+    pub fn send_stream(&mut self, now: SimTime, from: DeviceId, to: DeviceId, kind: TlpKind, len: u64, chunk: u32) -> TlpArrival {
+        let mut first = None;
+        let mut last = now;
+        for payload in tlp::chunks(len, chunk) {
+            let a = self.send_tlp(now, from, to, kind, payload);
+            first.get_or_insert(a.start);
+            last = a.arrive;
+        }
+        TlpArrival {
+            start: first.unwrap_or(now),
+            arrive: last,
+        }
+    }
+
+    /// Reset all link occupancy (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            l.reset();
+        }
+    }
+
+    /// Total wire bytes carried by the uplink of `dev` in `dir`.
+    pub fn uplink_carried(&self, dev: DeviceId, dir: Dir) -> u64 {
+        let (_, link) = self.nodes[dev.0].up.expect("roots have no uplink");
+        self.links[link].carried(dir)
+    }
+}
+
+/// Build the "ideal platform" of Table I: a SuperMicro 4U server where the
+/// GPU and the APEnet+ (or a second GPU) hang off one PLX PCIe switch.
+pub fn plx_platform() -> (Fabric, DeviceId, DeviceId, DeviceId) {
+    let mut f = Fabric::new();
+    let root = f.add_root(0);
+    let plx = f.add_switch(
+        root,
+        LinkSpec::GEN2_X16,
+        SimDuration::from_ns(100),
+        SimDuration::from_ns(150),
+    );
+    let gpu = f.add_endpoint(plx, "gpu0", LinkSpec::GEN2_X16, SimDuration::from_ns(100));
+    let nic = f.add_endpoint(plx, "apenet", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
+    let hostmem = f.add_endpoint(root, "hostmem", LinkSpec::GEN2_X16, SimDuration::from_ns(100));
+    (f, gpu, nic, hostmem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let mut f = Fabric::new();
+        let r0 = f.add_root(0);
+        let r1 = f.add_root(1);
+        let sw = f.add_switch(r0, LinkSpec::GEN2_X16, SimDuration::ZERO, SimDuration::ZERO);
+        let a = f.add_endpoint(sw, "a", LinkSpec::GEN2_X8, SimDuration::ZERO);
+        let b = f.add_endpoint(sw, "b", LinkSpec::GEN2_X8, SimDuration::ZERO);
+        let c = f.add_endpoint(r0, "c", LinkSpec::GEN2_X8, SimDuration::ZERO);
+        let d = f.add_endpoint(r1, "d", LinkSpec::GEN2_X8, SimDuration::ZERO);
+        assert_eq!(f.path_class(a, b), PathClass::SameSwitch);
+        assert_eq!(f.path_class(a, c), PathClass::SameRoot);
+        assert_eq!(f.path_class(a, d), PathClass::CrossSocket);
+    }
+
+    #[test]
+    fn tlp_timing_same_switch() {
+        let (mut f, gpu, nic, _) = plx_platform();
+        // 280 wire bytes over x16 (25 ns... wait: x16 @8 GB/s = 35 ns for 280)
+        // then x8 (70 ns), plus 100 ns per link latency and 150 ns forward.
+        let a = f.send_tlp(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 256);
+        let expect = SimDuration::from_ns(35 + 100 + 150 + 70 + 100);
+        assert_eq!(a.arrive, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn stream_serializes_on_bottleneck() {
+        let (mut f, gpu, nic, _) = plx_platform();
+        // 64 KiB of 256 B writes: bottleneck is the x8 downlink at 4 GB/s.
+        let a = f.send_stream(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 64 * 1024, 256);
+        let wire: u64 = 256 * 280;
+        let serial = LinkSpec::GEN2_X8.raw_rate().time_for(wire);
+        // Total time ≥ serialization on the slowest link.
+        assert!(a.arrive.since(SimTime::ZERO) >= serial);
+        // And not absurdly larger (pipelining overlaps the fast links).
+        assert!(a.arrive.since(SimTime::ZERO) < serial + SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn cross_socket_penalized() {
+        let mut f = Fabric::new();
+        let r0 = f.add_root(0);
+        let r1 = f.add_root(1);
+        let a = f.add_endpoint(r0, "a", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
+        let b = f.add_endpoint(r1, "b", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
+        let c = f.add_endpoint(r0, "c", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
+        let same = f.send_tlp(SimTime::ZERO, a, c, TlpKind::MemWrite, 64);
+        f.reset();
+        let cross = f.send_tlp(SimTime::ZERO, a, b, TlpKind::MemWrite, 64);
+        // The cross-socket path pays the QPI penalty plus one extra
+        // root-complex forwarding hop.
+        assert_eq!(
+            cross.arrive.since(SimTime::ZERO),
+            same.arrive.since(SimTime::ZERO) + f.qpi_penalty + SimDuration::from_ns(250)
+        );
+    }
+
+    #[test]
+    fn analyzer_captures_uplink_traffic() {
+        let (mut f, gpu, nic, _) = plx_platform();
+        let sink = SharedSink::capturing();
+        f.attach_analyzer(nic, sink.clone());
+        f.send_tlp(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 128);
+        f.send_tlp(SimTime::ZERO, nic, gpu, TlpKind::MemRead, 0);
+        let recs = sink.snapshot().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, "MWr");
+        assert_eq!(recs[1].kind, "MRd");
+    }
+
+    #[test]
+    fn carried_accounting() {
+        let (mut f, gpu, nic, _) = plx_platform();
+        f.send_tlp(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 256);
+        assert_eq!(f.uplink_carried(nic, Dir::Down), 280);
+        assert_eq!(f.uplink_carried(nic, Dir::Up), 0);
+        assert_eq!(f.uplink_carried(gpu, Dir::Up), 280);
+    }
+}

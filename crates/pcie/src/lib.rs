@@ -1,0 +1,31 @@
+//! # apenet-pcie — PCI Express fabric model
+//!
+//! A transaction-layer-packet (TLP) granularity model of the PCIe fabrics
+//! the paper's platforms are built on:
+//!
+//! * [`tlp`] — TLP kinds, wire sizes (header + framing overhead), payload
+//!   chunking at the 256 B maximum payload size;
+//! * [`link`] — per-direction serializing links for Gen1/2/3 × lanes;
+//! * [`fabric`] — a tree topology of root complexes, PLX-style switches and
+//!   endpoints, with store-and-forward path timing, per-direction link
+//!   occupancy (congestion emerges from shared links) and cross-socket
+//!   (QPI) path penalties;
+//! * [`server`] — a generic *completer* model: a memory target that answers
+//!   read requests with a first-byte latency and a sustained completion
+//!   rate (used for host memory, GPU P2P and BAR1 targets);
+//! * [`analyzer`] — the bus-analyzer interposer of paper §V.A (Fig. 3).
+//!
+//! The model collapses the PCIe data-link layer (credits, ACK/NAK replay)
+//! into per-TLP overhead bytes, as DESIGN.md §7 documents: every bandwidth
+//! effect the paper reports is a transaction-layer effect.
+
+pub mod analyzer;
+pub mod fabric;
+pub mod link;
+pub mod server;
+pub mod tlp;
+
+pub use fabric::{DeviceId, Fabric, PathClass};
+pub use link::{Dir, LinkSpec, PcieGen};
+pub use server::ReadServer;
+pub use tlp::{TlpKind, MAX_PAYLOAD, MAX_READ_REQUEST};

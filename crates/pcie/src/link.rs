@@ -1,0 +1,207 @@
+//! Serializing PCIe links.
+//!
+//! A link has two independent directions; each direction transmits one TLP
+//! at a time at the link's raw symbol rate. Occupancy is tracked as a
+//! *busy-until* horizon per direction, so concurrent traffic on a shared
+//! link stretches delivery times — this is how read-request traffic and
+//! completion traffic on the same segment interact, and how the model's
+//! congestion arises without per-byte events.
+
+use apenet_sim::{Bandwidth, SimDuration, SimTime};
+
+/// PCIe generation (signalling rate per lane after 8b/10b / 128b/130b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 2.5 GT/s, 250 MB/s effective per lane.
+    Gen1,
+    /// 5 GT/s, 500 MB/s effective per lane.
+    Gen2,
+    /// 8 GT/s, ~985 MB/s effective per lane.
+    Gen3,
+}
+
+impl PcieGen {
+    /// Effective bytes/s per lane (after line coding).
+    pub const fn per_lane(self) -> u64 {
+        match self {
+            PcieGen::Gen1 => 250_000_000,
+            PcieGen::Gen2 => 500_000_000,
+            PcieGen::Gen3 => 985_000_000,
+        }
+    }
+}
+
+/// Width and speed of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkSpec {
+    /// Generation.
+    pub gen: PcieGen,
+    /// Lane count (1, 4, 8, 16).
+    pub lanes: u8,
+}
+
+impl LinkSpec {
+    /// Gen2 x8 — the APEnet+ and Cluster II ConnectX-2 slots.
+    pub const GEN2_X8: LinkSpec = LinkSpec { gen: PcieGen::Gen2, lanes: 8 };
+    /// Gen2 x4 — the Cluster I ConnectX-2 slot ("due to motherboard
+    /// constraints", §V).
+    pub const GEN2_X4: LinkSpec = LinkSpec { gen: PcieGen::Gen2, lanes: 4 };
+    /// Gen2 x16 — GPU slots.
+    pub const GEN2_X16: LinkSpec = LinkSpec { gen: PcieGen::Gen2, lanes: 16 };
+
+    /// Raw symbol bandwidth per direction.
+    pub fn raw_rate(self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.gen.per_lane() * self.lanes as u64)
+    }
+}
+
+/// Direction of travel on a link relative to the topology tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Toward the root complex.
+    Up,
+    /// Away from the root complex.
+    Down,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+
+    const fn idx(self) -> usize {
+        match self {
+            Dir::Up => 0,
+            Dir::Down => 1,
+        }
+    }
+}
+
+/// One physical link with per-direction occupancy.
+#[derive(Debug, Clone)]
+pub struct Link {
+    spec: LinkSpec,
+    /// Propagation + PHY latency per traversal.
+    latency: SimDuration,
+    busy_until: [SimTime; 2],
+    wire_bytes: [u64; 2],
+}
+
+/// The result of reserving a TLP transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the TLP starts serializing onto the wire.
+    pub start: SimTime,
+    /// When the last byte has left the transmitter (= link free again).
+    pub depart_end: SimTime,
+    /// When the TLP has fully arrived at the other end.
+    pub arrive: SimTime,
+}
+
+impl Link {
+    /// Create a link of the given spec with a fixed traversal latency.
+    pub fn new(spec: LinkSpec, latency: SimDuration) -> Self {
+        Link {
+            spec,
+            latency,
+            busy_until: [SimTime::ZERO; 2],
+            wire_bytes: [0; 2],
+        }
+    }
+
+    /// The link's spec.
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Reserve transmission of `wire_bytes` in direction `dir`, starting no
+    /// earlier than `ready`. Transmissions in one direction are strictly
+    /// serialized; directions are independent.
+    pub fn reserve(&mut self, ready: SimTime, dir: Dir, wire_bytes: u64) -> Reservation {
+        let i = dir.idx();
+        let start = ready.max(self.busy_until[i]);
+        let depart_end = start + self.spec.raw_rate().time_for(wire_bytes);
+        self.busy_until[i] = depart_end;
+        self.wire_bytes[i] += wire_bytes;
+        Reservation {
+            start,
+            depart_end,
+            arrive: depart_end + self.latency,
+        }
+    }
+
+    /// When the given direction next becomes free.
+    pub fn busy_until(&self, dir: Dir) -> SimTime {
+        self.busy_until[dir.idx()]
+    }
+
+    /// Total wire bytes carried in `dir` so far (utilization accounting).
+    pub fn carried(&self, dir: Dir) -> u64 {
+        self.wire_bytes[dir.idx()]
+    }
+
+    /// Reset occupancy (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.busy_until = [SimTime::ZERO; 2];
+        self.wire_bytes = [0; 2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen2_x8_is_4gbs() {
+        assert_eq!(LinkSpec::GEN2_X8.raw_rate().bytes_per_sec(), 4_000_000_000);
+        assert_eq!(LinkSpec::GEN2_X4.raw_rate().bytes_per_sec(), 2_000_000_000);
+    }
+
+    #[test]
+    fn serialization_is_exclusive_per_direction() {
+        let mut l = Link::new(LinkSpec::GEN2_X8, SimDuration::from_ns(100));
+        // 280 wire bytes at 4 GB/s = 70 ns
+        let a = l.reserve(SimTime::ZERO, Dir::Up, 280);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.depart_end, SimTime::ZERO + SimDuration::from_ns(70));
+        assert_eq!(a.arrive, SimTime::ZERO + SimDuration::from_ns(170));
+        // Second TLP queues behind the first.
+        let b = l.reserve(SimTime::ZERO, Dir::Up, 280);
+        assert_eq!(b.start, a.depart_end);
+        // Opposite direction is independent.
+        let c = l.reserve(SimTime::ZERO, Dir::Down, 280);
+        assert_eq!(c.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn ready_after_busy_starts_at_ready() {
+        let mut l = Link::new(LinkSpec::GEN2_X8, SimDuration::ZERO);
+        let _ = l.reserve(SimTime::ZERO, Dir::Up, 4000); // busy until 1 us
+        let late = SimTime::ZERO + SimDuration::from_us(5);
+        let r = l.reserve(late, Dir::Up, 4000);
+        assert_eq!(r.start, late);
+    }
+
+    #[test]
+    fn carried_accumulates_and_reset_clears() {
+        let mut l = Link::new(LinkSpec::GEN2_X4, SimDuration::ZERO);
+        l.reserve(SimTime::ZERO, Dir::Up, 100);
+        l.reserve(SimTime::ZERO, Dir::Up, 50);
+        l.reserve(SimTime::ZERO, Dir::Down, 7);
+        assert_eq!(l.carried(Dir::Up), 150);
+        assert_eq!(l.carried(Dir::Down), 7);
+        l.reset();
+        assert_eq!(l.carried(Dir::Up), 0);
+        assert_eq!(l.busy_until(Dir::Up), SimTime::ZERO);
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::Up.flip(), Dir::Down);
+        assert_eq!(Dir::Down.flip(), Dir::Up);
+    }
+}

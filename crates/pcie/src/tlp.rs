@@ -1,0 +1,128 @@
+//! Transaction layer packets: kinds, wire sizes and chunking.
+
+/// Maximum data payload of one TLP in bytes (the common Gen2 platform
+/// setting; both test clusters in the paper ran 256 B).
+pub const MAX_PAYLOAD: u32 = 256;
+
+/// Maximum read request size in bytes (PCIe spec default).
+pub const MAX_READ_REQUEST: u32 = 4096;
+
+/// Per-TLP overhead in bytes for TLPs carrying a 64-bit address:
+/// 2 B framing + 6 B DLL (seq + LCRC) + 16 B TLP header.
+pub const DATA_TLP_OVERHEAD: u64 = 24;
+
+/// Per-TLP overhead for completions (32-bit routing, 12 B header).
+pub const CPL_TLP_OVERHEAD: u64 = 20;
+
+/// The TLP kinds the model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlpKind {
+    /// Posted memory write carrying payload.
+    MemWrite,
+    /// Non-posted memory read request (no payload).
+    MemRead,
+    /// Completion with data (response to `MemRead`).
+    Completion,
+    /// A GPUDirect P2P protocol message (mailbox write); behaves like a
+    /// small posted write on the wire.
+    P2pProtocol,
+}
+
+impl TlpKind {
+    /// Bytes this TLP occupies on the wire for `payload` bytes of data.
+    pub fn wire_bytes(self, payload: u32) -> u64 {
+        match self {
+            TlpKind::MemWrite | TlpKind::P2pProtocol => DATA_TLP_OVERHEAD + payload as u64,
+            TlpKind::MemRead => {
+                debug_assert_eq!(payload, 0, "read requests carry no payload");
+                DATA_TLP_OVERHEAD
+            }
+            TlpKind::Completion => CPL_TLP_OVERHEAD + payload as u64,
+        }
+    }
+
+    /// Short mnemonic used by the bus analyzer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TlpKind::MemWrite => "MWr",
+            TlpKind::MemRead => "MRd",
+            TlpKind::Completion => "CplD",
+            TlpKind::P2pProtocol => "P2P",
+        }
+    }
+}
+
+/// Split a transfer of `len` bytes into TLP payload chunks of at most
+/// `chunk` bytes. Yields nothing for `len == 0`.
+pub fn chunks(len: u64, chunk: u32) -> impl Iterator<Item = u32> {
+    assert!(chunk > 0);
+    let chunk = chunk as u64;
+    let n = len / chunk;
+    let rem = (len % chunk) as u32;
+    (0..n)
+        .map(move |_| chunk as u32)
+        .chain((rem > 0).then_some(rem))
+}
+
+/// Total wire bytes to move `len` bytes of data as TLPs of `kind` with
+/// payloads of at most `chunk` bytes.
+pub fn wire_bytes_for(kind: TlpKind, len: u64, chunk: u32) -> u64 {
+    chunks(len, chunk).map(|c| kind.wire_bytes(c)).sum()
+}
+
+/// Protocol efficiency of moving data in `chunk`-byte write TLPs: the ratio
+/// payload / (payload + overhead). At 256 B this is ~0.914, which is what
+/// turns the 4 GB/s raw Gen2 x8 link into ~3.6 GB/s of data.
+pub fn write_efficiency(chunk: u32) -> f64 {
+    chunk as f64 / (chunk as f64 + DATA_TLP_OVERHEAD as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_by_kind() {
+        assert_eq!(TlpKind::MemWrite.wire_bytes(256), 280);
+        assert_eq!(TlpKind::MemRead.wire_bytes(0), 24);
+        assert_eq!(TlpKind::Completion.wire_bytes(256), 276);
+        assert_eq!(TlpKind::P2pProtocol.wire_bytes(16), 40);
+    }
+
+    #[test]
+    fn chunking_exact_and_remainder() {
+        let v: Vec<u32> = chunks(1024, 256).collect();
+        assert_eq!(v, vec![256; 4]);
+        let v: Vec<u32> = chunks(1000, 256).collect();
+        assert_eq!(v, vec![256, 256, 256, 232]);
+        let v: Vec<u32> = chunks(0, 256).collect();
+        assert!(v.is_empty());
+        let v: Vec<u32> = chunks(10, 256).collect();
+        assert_eq!(v, vec![10]);
+    }
+
+    #[test]
+    fn total_wire_bytes() {
+        // 1024 B as 4 write TLPs: 4 * (24 + 256)
+        assert_eq!(wire_bytes_for(TlpKind::MemWrite, 1024, 256), 4 * 280);
+        // read requests: overhead only
+        assert_eq!(wire_bytes_for(TlpKind::MemRead, 0, 256), 0);
+    }
+
+    #[test]
+    fn efficiency_sane() {
+        let e = write_efficiency(256);
+        assert!(e > 0.91 && e < 0.92, "{e}");
+        assert!(write_efficiency(128) < e, "smaller payloads less efficient");
+    }
+
+    #[test]
+    fn chunk_count_matches() {
+        for len in [0u64, 1, 255, 256, 257, 4096, 4097] {
+            let n = chunks(len, 256).count() as u64;
+            assert_eq!(n, len.div_ceil(256));
+            let total: u64 = chunks(len, 256).map(u64::from).sum();
+            assert_eq!(total, len, "no bytes lost");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Completion bookkeeping for the host side.
+//!
+//! The cluster host actor feeds card notifications (`Delivered`,
+//! `TxComplete`) into a [`CompletionQueue`]; benchmark harnesses and
+//! applications poll it to sequence their next steps and to timestamp
+//! results.
+
+use apenet_core::packet::MsgId;
+use apenet_sim::SimTime;
+use std::collections::HashMap;
+
+/// Arrival records of one host.
+#[derive(Debug, Default, Clone)]
+pub struct CompletionQueue {
+    delivered: HashMap<MsgId, (SimTime, u64)>,
+    tx_done: HashMap<MsgId, SimTime>,
+    delivered_bytes: u64,
+    last_delivery: Option<SimTime>,
+}
+
+impl CompletionQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an RX completion.
+    pub fn push_delivered(&mut self, msg: MsgId, at: SimTime, len: u64) {
+        self.delivered.insert(msg, (at, len));
+        self.delivered_bytes += len;
+        self.last_delivery = Some(self.last_delivery.map_or(at, |t| t.max(at)));
+    }
+
+    /// Record a TX completion.
+    pub fn push_tx_done(&mut self, msg: MsgId, at: SimTime) {
+        self.tx_done.insert(msg, at);
+    }
+
+    /// Has `msg` been delivered locally?
+    pub fn is_delivered(&self, msg: MsgId) -> bool {
+        self.delivered.contains_key(&msg)
+    }
+
+    /// Delivery time of `msg`, if it arrived.
+    pub fn delivery_time(&self, msg: MsgId) -> Option<SimTime> {
+        self.delivered.get(&msg).map(|&(t, _)| t)
+    }
+
+    /// Number of delivered messages.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Total delivered payload bytes.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Timestamp of the most recent delivery.
+    pub fn last_delivery(&self) -> Option<SimTime> {
+        self.last_delivery
+    }
+
+    /// Number of completed transmissions.
+    pub fn tx_done_count(&self) -> usize {
+        self.tx_done.len()
+    }
+
+    /// Drop all records (between benchmark repetitions).
+    pub fn clear(&mut self) {
+        self.delivered.clear();
+        self.tx_done.clear();
+        self.delivered_bytes = 0;
+        self.last_delivery = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apenet_sim::SimDuration;
+
+    fn msg(seq: u64) -> MsgId {
+        MsgId { src_rank: 0, seq }
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut cq = CompletionQueue::new();
+        let t1 = SimTime::ZERO + SimDuration::from_us(1);
+        let t2 = SimTime::ZERO + SimDuration::from_us(2);
+        cq.push_delivered(msg(0), t2, 100);
+        cq.push_delivered(msg(1), t1, 50);
+        cq.push_tx_done(msg(0), t1);
+        assert!(cq.is_delivered(msg(0)));
+        assert!(!cq.is_delivered(msg(9)));
+        assert_eq!(cq.delivery_time(msg(1)), Some(t1));
+        assert_eq!(cq.delivered_count(), 2);
+        assert_eq!(cq.delivered_bytes(), 150);
+        assert_eq!(cq.last_delivery(), Some(t2), "max, not last-pushed");
+        assert_eq!(cq.tx_done_count(), 1);
+        cq.clear();
+        assert_eq!(cq.delivered_count(), 0);
+        assert_eq!(cq.last_delivery(), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Kernel-driver cost model.
+//!
+//! On the transmit side "host buffer transmission … is completely handled
+//! by the kernel driver, which implements the message fragmentation and
+//! pushes transaction descriptors" (§III.B). The driver costs below are
+//! the host-CPU time each API call occupies — the LogP *overhead*
+//! parameter that Fig. 10 plots.
+
+use apenet_sim::SimDuration;
+
+/// Host-side cost constants.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Host CPU time per PUT call (descriptor build + doorbell).
+    pub put_overhead: SimDuration,
+    /// First-time registration of a host buffer (pinning + HOST_V2P fill).
+    pub reg_host: SimDuration,
+    /// First-time registration/mapping of a GPU buffer ("buffer mapping
+    /// consists in retrieving the peer-to-peer informations, then passing
+    /// them down to the kernel driver and from there to the Nios II").
+    pub reg_gpu: SimDuration,
+    /// Cache hit in the internal mapping cache.
+    pub reg_cache_hit: SimDuration,
+    /// Cost of `cuPointerGetAttribute` when the PUT source kind is not
+    /// given as a flag — "possibly expensive, at least on early CUDA 4
+    /// releases" (§IV.A).
+    pub pointer_query: SimDuration,
+    /// Host CPU time to reap one completion event.
+    pub completion_poll: SimDuration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            put_overhead: SimDuration::from_ns(1000),
+            reg_host: SimDuration::from_us(40),
+            reg_gpu: SimDuration::from_us(120),
+            reg_cache_hit: SimDuration::from_ns(200),
+            pointer_query: SimDuration::from_us(3),
+            completion_poll: SimDuration::from_ns(250),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sensibly() {
+        let d = DriverConfig::default();
+        assert!(d.reg_gpu > d.reg_host, "GPU mapping costs more");
+        assert!(d.reg_cache_hit < d.put_overhead);
+        assert!(d.pointer_query > d.put_overhead, "the flag exists to skip this");
+    }
+}

@@ -1,0 +1,27 @@
+//! # apenet-rdma — the APEnet+ RDMA programming model
+//!
+//! "The APEnet+ architecture is designed around a simple Remote Direct
+//! Memory Access (RDMA) programming model. The model has been extended
+//! with the ability to read and write the GPU private memory … directly
+//! over the PCIe bus" (§III.B).
+//!
+//! This crate is the *host-side* half of that model:
+//!
+//! * [`api`] — buffer registration (host and GPU buffers through UVA, with
+//!   the internal mapping cache of §IV.A) and the `PUT` call with its
+//!   compile-time source-kind flag;
+//! * [`driver`] — the kernel-driver cost model (per-message overheads, the
+//!   LogP *o* parameter of Fig. 10);
+//! * [`staging`] — the P2P=OFF fallback: `cudaMemcpy` bounce-buffer
+//!   staging with chunked pipelining for large messages;
+//! * [`completion`] — completion-queue bookkeeping for PUT/delivery
+//!   events.
+
+pub mod api;
+pub mod completion;
+pub mod driver;
+pub mod staging;
+
+pub use api::{PutOutcome, RdmaEndpoint, RdmaError, SrcHint};
+pub use completion::CompletionQueue;
+pub use driver::DriverConfig;

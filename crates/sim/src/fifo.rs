@@ -1,0 +1,157 @@
+//! Byte-accounted bounded FIFO with almost-full watermarks.
+//!
+//! The APEnet+ datapath is a chain of on-chip FIFOs (TX data FIFO, TX header
+//! FIFO, peer-to-peer request FIFO, …) whose *almost-full* signals drive the
+//! GPU_P2P_TX v3 flow control (arrow 3 of the paper's Fig. 2). This type
+//! models exactly that: occupancy in bytes, a capacity, and a configurable
+//! watermark.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO whose occupancy is measured in bytes.
+#[derive(Debug, Clone)]
+pub struct ByteFifo<T> {
+    items: VecDeque<(u64, T)>,
+    capacity: u64,
+    occupied: u64,
+    almost_full_at: u64,
+}
+
+impl<T> ByteFifo<T> {
+    /// Create a FIFO of `capacity` bytes with an almost-full watermark at
+    /// `almost_full_at` bytes (must be ≤ capacity).
+    pub fn new(capacity: u64, almost_full_at: u64) -> Self {
+        assert!(almost_full_at <= capacity);
+        ByteFifo {
+            items: VecDeque::new(),
+            capacity,
+            occupied: 0,
+            almost_full_at,
+        }
+    }
+
+    /// Create with the watermark at 7/8 of capacity (a common RTL choice).
+    pub fn with_default_watermark(capacity: u64) -> Self {
+        Self::new(capacity, capacity - capacity / 8)
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Occupied bytes.
+    pub fn occupied(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Free bytes.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.occupied
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when occupancy has reached the almost-full watermark.
+    pub fn almost_full(&self) -> bool {
+        self.occupied >= self.almost_full_at
+    }
+
+    /// True if an entry of `bytes` would fit right now.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.occupied + bytes <= self.capacity
+    }
+
+    /// Push an entry of `bytes`; returns `Err(item)` if it does not fit.
+    pub fn push(&mut self, bytes: u64, item: T) -> Result<(), T> {
+        if !self.fits(bytes) {
+            return Err(item);
+        }
+        self.occupied += bytes;
+        self.items.push_back((bytes, item));
+        Ok(())
+    }
+
+    /// Pop the oldest entry, returning `(bytes, item)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let (bytes, item) = self.items.pop_front()?;
+        self.occupied -= bytes;
+        Some((bytes, item))
+    }
+
+    /// Peek at the oldest entry.
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        self.items.front().map(|(b, t)| (*b, t))
+    }
+
+    /// Drop everything (e.g. the "flush TX FIFOs" test mode of Fig. 4).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.occupied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_accounting() {
+        let mut f: ByteFifo<&str> = ByteFifo::new(100, 80);
+        assert!(f.push(40, "a").is_ok());
+        assert!(f.push(40, "b").is_ok());
+        assert_eq!(f.occupied(), 80);
+        assert!(f.almost_full());
+        assert_eq!(f.push(40, "c"), Err("c"), "over capacity");
+        assert_eq!(f.pop(), Some((40, "a")));
+        assert!(!f.almost_full());
+        assert_eq!(f.free(), 60);
+        assert!(f.push(40, "c").is_ok());
+        assert_eq!(f.pop(), Some((40, "b")));
+        assert_eq!(f.pop(), Some((40, "c")));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.occupied(), 0);
+    }
+
+    #[test]
+    fn watermark_default() {
+        let f: ByteFifo<u8> = ByteFifo::with_default_watermark(32 * 1024);
+        assert_eq!(f.capacity(), 32 * 1024);
+        assert!(!f.almost_full());
+    }
+
+    #[test]
+    fn zero_sized_entries_allowed() {
+        let mut f: ByteFifo<u8> = ByteFifo::new(4, 4);
+        for i in 0..10 {
+            assert!(f.push(0, i).is_ok());
+        }
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.occupied(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f: ByteFifo<u8> = ByteFifo::new(10, 10);
+        f.push(5, 1).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.occupied(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f: ByteFifo<&str> = ByteFifo::new(10, 10);
+        f.push(3, "x").unwrap();
+        assert_eq!(f.peek(), Some((3, &"x")));
+        assert_eq!(f.len(), 1);
+    }
+}

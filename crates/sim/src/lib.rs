@@ -1,0 +1,122 @@
+//! # apenet-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the foundation of the APEnet+ reproduction: a small,
+//! allocation-conscious discrete-event simulation (DES) kernel with
+//!
+//! * integer **picosecond** time ([`SimTime`], [`SimDuration`]) — every
+//!   timing computation in the workspace is exact integer math, so a given
+//!   seed reproduces bit-identical event streams on every platform;
+//! * a generic actor **engine** ([`Sim`]) with a binary-heap calendar and
+//!   stable FIFO tie-breaking;
+//! * exact **bandwidth** arithmetic ([`Bandwidth`]);
+//! * an in-tree **RNG** ([`rng::Xoshiro256ss`], [`rng::SplitMix64`]) so
+//!   deterministic streams do not depend on external crate versions;
+//! * online **statistics** and plot-series helpers used by the benchmark
+//!   harness ([`stats`]);
+//! * a byte-accounted bounded **FIFO** with almost-full watermarks
+//!   ([`fifo::ByteFifo`]) — the building block of the APEnet+ flow control;
+//! * lightweight **tracing** ([`trace`]) used by the PCIe bus-analyzer model.
+//!
+//! The hardware crates (`apenet-pcie`, `apenet-gpu`, `apenet-core`, …) are
+//! written "sans-engine": they expose state machines implementing
+//! [`Device`], and `apenet-cluster` wires those into a [`Sim`] instance.
+//!
+//! ```
+//! use apenet_sim::engine::{Actor, Ctx, Sim};
+//! use apenet_sim::{SimDuration, SimTime};
+//!
+//! struct Echo;
+//! impl Actor<u32> for Echo {
+//!     fn on_event(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+//!         if ev > 0 {
+//!             ctx.send_self(SimDuration::from_ns(100), ev - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new();
+//! let a = sim.add_actor(Box::new(Echo));
+//! sim.send(a, SimTime::ZERO, 5);
+//! let end = sim.run();
+//! assert_eq!(end, SimTime::ZERO + SimDuration::from_ns(500));
+//! assert_eq!(sim.events_processed(), 6);
+//! ```
+
+pub mod engine;
+pub mod fifo;
+pub mod rate;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Actor, ActorId, Ctx, Sim};
+pub use fifo::ByteFifo;
+pub use rate::Bandwidth;
+pub use time::{SimDuration, SimTime};
+
+/// A sans-engine hardware component: consumes one input event and emits
+/// zero or more delayed outputs into an [`Outbox`].
+///
+/// Components written against this trait know nothing about the simulation
+/// engine or about who their peers are; the cluster assembly layer routes
+/// each output to the right actor. This keeps every hardware model unit
+/// testable with nothing but a clock value and an outbox.
+pub trait Device {
+    /// Input event type.
+    type In;
+    /// Output event type.
+    type Out;
+    /// Handle `ev` at simulated time `now`, pushing any produced events
+    /// (with their relative delays) into `out`.
+    fn handle(&mut self, now: SimTime, ev: Self::In, out: &mut Outbox<Self::Out>);
+}
+
+/// Collector for the delayed outputs of a [`Device`] step.
+#[derive(Debug)]
+pub struct Outbox<T> {
+    items: Vec<(SimDuration, T)>,
+}
+
+impl<T> Default for Outbox<T> {
+    fn default() -> Self {
+        Self { items: Vec::new() }
+    }
+}
+
+impl<T> Outbox<T> {
+    /// Create an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit `ev` after `delay`.
+    pub fn push(&mut self, delay: SimDuration, ev: T) {
+        self.items.push((delay, ev));
+    }
+
+    /// Emit `ev` immediately (zero delay).
+    pub fn push_now(&mut self, ev: T) {
+        self.push(SimDuration::ZERO, ev);
+    }
+
+    /// Number of pending outputs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no outputs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drain all collected outputs.
+    pub fn drain(&mut self) -> impl Iterator<Item = (SimDuration, T)> + '_ {
+        self.items.drain(..)
+    }
+
+    /// Consume the outbox, returning the collected outputs.
+    pub fn into_vec(self) -> Vec<(SimDuration, T)> {
+        self.items
+    }
+}

@@ -1,0 +1,294 @@
+//! Online statistics and figure series used by the reproduction harness.
+
+use std::fmt;
+
+/// Welford online mean/variance plus min/max.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free only if inputs were).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A logarithmically-bucketed histogram of non-negative integers
+/// (bucket k holds values in `[2^k, 2^(k+1))`; bucket 0 holds 0 and 1).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let b = 63 - (v | 1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total += v as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (0 ≤ q ≤ 1).
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if k >= 63 { u64::MAX } else { (2u64 << k) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterate non-empty buckets as `(lower_bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (if k == 0 { 0 } else { 1u64 << k }, n))
+    }
+}
+
+/// One (x, y) series of a figure, e.g. "bandwidth vs message size".
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, matching the paper's curve names.
+    pub label: String,
+    /// The data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Linear interpolation of y at `x` (requires sorted x, ≥ 1 point).
+    pub fn interpolate(&self, x: f64) -> f64 {
+        assert!(!self.points.is_empty());
+        if x <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x <= x1 {
+                let f = (x - x0) / (x1 - x0);
+                return y0 + f * (y1 - y0);
+            }
+        }
+        self.points.last().unwrap().1
+    }
+
+    /// Maximum y value.
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
+    }
+
+    /// The first x at which this series' y falls at or below `other`'s
+    /// (both evaluated on this series' x grid) — crossover detection.
+    pub fn crossover_below(&self, other: &Series) -> Option<f64> {
+        for &(x, y) in &self.points {
+            if y <= other.interpolate(x) {
+                return Some(x);
+            }
+        }
+        None
+    }
+}
+
+/// An ASCII rendering of a set of series: one row per x on a shared grid.
+/// Used by the figure binaries to print gnuplot-ready columns.
+pub fn render_table(series: &[Series], x_name: &str, y_name: &str) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "# {x_name:>12}");
+    for s in series {
+        let _ = write!(out, " {:>24}", s.label);
+    }
+    let _ = writeln!(out, "   ({y_name})");
+    if series.is_empty() {
+        return out;
+    }
+    for (i, &(x, _)) in series[0].points.iter().enumerate() {
+        let _ = write!(out, "{x:>14.0}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, " {y:>24.1}");
+                }
+                None => {
+                    let _ = write!(out, " {:>24}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (1 + 2 + 3 + 4 + 1024) as f64 / 6.0).abs() < 1e-12);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 1), (1024, 1)]);
+        assert!(h.quantile_bound(0.5) >= 2);
+        assert!(h.quantile_bound(1.0) >= 1024);
+    }
+
+    #[test]
+    fn series_interpolation_and_crossover() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        for x in [1.0, 2.0, 4.0, 8.0] {
+            a.push(x, 10.0 - x); // falling
+            b.push(x, x); // rising
+        }
+        assert!((a.interpolate(3.0) - 7.0).abs() < 1e-12);
+        assert!((a.interpolate(0.5) - 9.0).abs() < 1e-12);
+        assert!((a.interpolate(99.0) - 2.0).abs() < 1e-12);
+        // a falls below b somewhere after x=4 (a(8)=2 <= b(8)=8 → first grid x is 8)
+        assert_eq!(a.crossover_below(&b), Some(8.0));
+        assert_eq!(b.crossover_below(&a), Some(1.0));
+        assert_eq!(a.peak(), 9.0);
+    }
+
+    #[test]
+    fn table_rendering_has_all_columns() {
+        let mut a = Series::new("H-H");
+        a.push(32.0, 100.0);
+        a.push(64.0, 200.0);
+        let t = render_table(&[a], "size", "MB/s");
+        assert!(t.contains("H-H"));
+        assert!(t.contains("size"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Lightweight event tracing.
+//!
+//! The PCIe bus-analyzer model (paper §V.A, Fig. 3) is a trace sink attached
+//! between two link endpoints. The null sink costs nothing on hot paths;
+//! `enabled()` lets callers skip even the formatting of detail strings.
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Which component produced it.
+    pub source: &'static str,
+    /// Event kind (e.g. "MRd", "CplD", "pkt-rx").
+    pub kind: &'static str,
+    /// Free-form detail (sizes, addresses).
+    pub detail: String,
+}
+
+#[derive(Clone)]
+enum SinkImpl {
+    Null,
+    Vec(Rc<RefCell<Vec<TraceRecord>>>),
+}
+
+/// A cheaply clonable, shareable trace sink — components of a
+/// single-threaded simulation share one capture buffer through this handle.
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: SinkImpl,
+}
+
+impl SharedSink {
+    /// A disabled sink: records are discarded without formatting cost.
+    pub fn null() -> Self {
+        SharedSink { inner: SinkImpl::Null }
+    }
+
+    /// A capturing sink; read it back with [`SharedSink::snapshot`].
+    pub fn capturing() -> Self {
+        SharedSink {
+            inner: SinkImpl::Vec(Rc::new(RefCell::new(Vec::new()))),
+        }
+    }
+
+    /// True when records are kept. Check before building costly `detail`
+    /// strings.
+    pub fn enabled(&self) -> bool {
+        matches!(self.inner, SinkImpl::Vec(_))
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn record(&self, at: SimTime, source: &'static str, kind: &'static str, detail: String) {
+        if let SinkImpl::Vec(v) = &self.inner {
+            v.borrow_mut().push(TraceRecord {
+                at,
+                source,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// Clone out the captured records (`None` for a null sink).
+    pub fn snapshot(&self) -> Option<Vec<TraceRecord>> {
+        match &self.inner {
+            SinkImpl::Null => None,
+            SinkImpl::Vec(v) => Some(v.borrow().clone()),
+        }
+    }
+
+    /// Number of captured records (0 for a null sink).
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            SinkImpl::Null => 0,
+            SinkImpl::Vec(v) => v.borrow().len(),
+        }
+    }
+
+    /// True when no records have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_discards() {
+        let s = SharedSink::null();
+        assert!(!s.enabled());
+        s.record(SimTime::ZERO, "x", "y", String::new());
+        assert_eq!(s.snapshot(), None);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn capturing_sink_keeps_order() {
+        let s = SharedSink::capturing();
+        assert!(s.enabled());
+        let s2 = s.clone();
+        s.record(SimTime::from_ps(1), "a", "MRd", "tag=1".into());
+        s2.record(SimTime::from_ps(2), "b", "CplD", "tag=1".into());
+        let recs = s.snapshot().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, "MRd");
+        assert_eq!(recs[1].source, "b");
+        assert!(recs[0].at < recs[1].at);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Interactive bandwidth sweep: the Fig. 6/7 experiment with your choice
+//! of buffer sides and staging.
+//!
+//! Usage: `cargo run --release --example bandwidth_sweep -- [H|G] [H|G] [p2p|staged]`
+//! e.g. `cargo run --release --example bandwidth_sweep -- G G staged`
+
+use apenet::cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
+use apenet::cluster::presets::cluster_i_default;
+
+fn side(arg: Option<&String>) -> BufSide {
+    match arg.map(String::as_str) {
+        Some("H") | Some("h") => BufSide::Host,
+        Some("G") | Some("g") | None => BufSide::Gpu,
+        Some(other) => panic!("expected H or G, got {other}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let src = side(args.get(1));
+    let dst = side(args.get(2));
+    let staged = matches!(args.get(3).map(String::as_str), Some("staged"));
+    let label = |s| if s == BufSide::Host { "H" } else { "G" };
+    println!(
+        "# two-node {}-{} bandwidth on APEnet+ ({})",
+        label(src),
+        label(dst),
+        if staged { "host staging (P2P=OFF)" } else { "GPU peer-to-peer" }
+    );
+    println!("{:>12} {:>12}", "bytes", "MB/s");
+    for p in 5..=22 {
+        let size = 1u64 << p;
+        let count = if size <= 64 * 1024 { 24 } else { 8 };
+        let r = two_node_bandwidth(
+            cluster_i_default(),
+            TwoNodeParams { src, dst, size, count, staged },
+        );
+        println!("{size:>12} {:>12.1}", r.bandwidth.mb_per_sec_f64());
+    }
+}

@@ -1,0 +1,31 @@
+//! # apenet — GPU peer-to-peer techniques applied to a cluster interconnect
+//!
+//! Facade crate for the reproduction of Ammendola et al., *"GPU peer-to-peer
+//! techniques applied to a cluster interconnect"* (2013, arXiv:1307.8276):
+//! the APEnet+ FPGA 3D-torus network card with NVIDIA GPUDirect peer-to-peer
+//! support, rebuilt as a functional, deterministic discrete-event simulation.
+//!
+//! The workspace crates are re-exported here under short names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `apenet-sim` | DES engine, time, bandwidth, RNG, stats |
+//! | [`pcie`] | `apenet-pcie` | PCIe fabric: TLPs, links, switches, analyzer |
+//! | [`gpu`] | `apenet-gpu` | GPU model: memory, P2P, BAR1, DMA, CUDA-ish API |
+//! | [`nic`] | `apenet-core` | the APEnet+ card: torus, router, NI, Nios II |
+//! | [`rdma`] | `apenet-rdma` | the RDMA programming model (public API) |
+//! | [`ib`] | `apenet-ib` | InfiniBand + MVAPICH-like baseline |
+//! | [`cluster`] | `apenet-cluster` | node/cluster assembly, paper presets |
+//! | [`apps`] | `apenet-apps` | Heisenberg spin glass + distributed BFS |
+//!
+//! See `examples/quickstart.rs` for the one-minute tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` at the repository root for the experiment inventory.
+
+pub use apenet_apps as apps;
+pub use apenet_cluster as cluster;
+pub use apenet_core as nic;
+pub use apenet_gpu as gpu;
+pub use apenet_ib as ib;
+pub use apenet_pcie as pcie;
+pub use apenet_rdma as rdma;
+pub use apenet_sim as sim;
