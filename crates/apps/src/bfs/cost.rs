@@ -62,10 +62,7 @@ mod tests {
         let a = c.level_kernel(1000, 0);
         let b = c.level_kernel(2000, 0);
         assert!(b > a);
-        assert_eq!(
-            (b - c.per_level).as_ps(),
-            2 * (a - c.per_level).as_ps()
-        );
+        assert_eq!((b - c.per_level).as_ps(), 2 * (a - c.per_level).as_ps());
     }
 
     #[test]

@@ -152,7 +152,11 @@ impl BfsRank {
     /// are identical on every rank, so it is my own recv address at my
     /// position within p's table.
     fn peer_recv_addr(&self, p: usize, parity: usize) -> u64 {
-        let my_pos_at_p = if self.rank < p { self.rank } else { self.rank - 1 };
+        let my_pos_at_p = if self.rank < p {
+            self.rank
+        } else {
+            self.rank - 1
+        };
         self.recv_slots[my_pos_at_p][parity]
     }
 
@@ -190,7 +194,13 @@ impl BfsRank {
                 let dst = self.peer_recv_addr(p, parity);
                 let out = node
                     .ep
-                    .put(src, bytes.len() as u64, coord_for(self.np(), p, false), dst, SrcHint::Gpu)
+                    .put(
+                        src,
+                        bytes.len() as u64,
+                        coord_for(self.np(), p, false),
+                        dst,
+                        SrcHint::Gpu,
+                    )
                     .expect("frontier put");
                 self.tx_expect_total += 1;
                 api.submit(out.host_cost, out.desc);
@@ -199,7 +209,13 @@ impl BfsRank {
         self.try_advance(node, api);
     }
 
-    fn on_delivery(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>, dst_vaddr: u64, len: u64) {
+    fn on_delivery(
+        &mut self,
+        node: &mut NodeCtx,
+        api: &mut HostApi<'_, '_>,
+        dst_vaddr: u64,
+        len: u64,
+    ) {
         // Identify (position, parity) by address.
         let mut found = None;
         for (pos, slots) in self.recv_slots.iter().enumerate() {
@@ -210,7 +226,11 @@ impl BfsRank {
             }
         }
         let (_pos, parity) = found.expect("delivery into a known slot");
-        let bytes = node.cuda[0].borrow_mut().mem.read_vec(dst_vaddr, len).unwrap();
+        let bytes = node.cuda[0]
+            .borrow_mut()
+            .mem
+            .read_vec(dst_vaddr, len)
+            .unwrap();
         let (header, pairs) = decode(&bytes);
         self.frontier_global[parity] += header as u64;
         self.pending_pairs[parity].extend(pairs);
@@ -486,7 +506,10 @@ pub fn run_ib(cfg: &BfsConfig, ib: IbConfig) -> BfsResult {
             tree.parent[v as usize] = s.parent[v as usize];
         }
     }
-    let wall = clocks.iter().fold(SimTime::ZERO, |a, &t| a.max(t)).since(SimTime::ZERO);
+    let wall = clocks
+        .iter()
+        .fold(SimTime::ZERO, |a, &t| a.max(t))
+        .since(SimTime::ZERO);
     let m = seq::traversed_edges(&g, &tree);
     BfsResult {
         teps: m as f64 / wall.as_secs_f64(),

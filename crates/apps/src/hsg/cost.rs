@@ -32,7 +32,7 @@ impl Default for HsgCost {
                 (1.0e6, 790.0),
                 (4.2e6, 808.0),
                 (8.4e6, 830.0),
-                (16.8e6, 921.0),   // 256^3 resident: the 921 ps anchor
+                (16.8e6, 921.0), // 256^3 resident: the 921 ps anchor
                 (33.6e6, 1030.0),
                 (67.1e6, 1220.0),
                 (134.2e6, 1471.0), // 512^3 resident: the 1471 ps anchor
@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn faster_gpu_shrinks_kernels() {
         let slow = HsgCost::default();
-        let fast = HsgCost { compute_factor: 1.8, ..HsgCost::default() };
+        let fast = HsgCost {
+            compute_factor: 1.8,
+            ..HsgCost::default()
+        };
         assert!(fast.ps_per_spin(1 << 24) < slow.ps_per_spin(1 << 24));
     }
 }

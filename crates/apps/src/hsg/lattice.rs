@@ -86,7 +86,13 @@ impl Slab {
                 }
             }
         }
-        Slab { l, lz, z0, seed, spins }
+        Slab {
+            l,
+            lz,
+            z0,
+            seed,
+            spins,
+        }
     }
 
     /// A full (single-rank) lattice.
@@ -253,9 +259,8 @@ impl Slab {
                     let nx = self.spin(p, y, (x + 1) % l);
                     let ny = self.spin(p, (y + 1) % l, x);
                     let nz = self.spin(p + 1, y, x);
-                    let dot = |a: [f32; 3], b: [f32; 3]| {
-                        (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) as f64
-                    };
+                    let dot =
+                        |a: [f32; 3], b: [f32; 3]| (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) as f64;
                     e -= coupling(self.seed, l, x, y, zg, 0) as f64 * dot(s, nx);
                     e -= coupling(self.seed, l, x, y, zg, 1) as f64 * dot(s, ny);
                     e -= coupling(self.seed, l, x, y, zg, 2) as f64 * dot(s, nz);

@@ -226,7 +226,10 @@ impl HsgRank {
         self.bulk_waited = false;
         self.tx_barrier = self.tx_expect_total;
         if std::env::var_os("HSG_TRACE").is_some() {
-            eprintln!("r{} phase step{} c{} start at {}", self.rank, self.step, self.color, api.now);
+            eprintln!(
+                "r{} phase step{} c{} start at {}",
+                self.rank, self.step, self.color, api.now
+            );
         }
         if self.cfg.np == 1 {
             if let Some(s) = &mut self.slab {
@@ -234,10 +237,7 @@ impl HsgRank {
             }
         }
         let dev = &node.cuda[0];
-        let kb = self
-            .cfg
-            .cost
-            .kernel(self.boundary_sites(), self.resident());
+        let kb = self.cfg.cost.kernel(self.boundary_sites(), self.resident());
         let s_bnd = apenet_gpu::cuda::CudaDevice::default_stream();
         let done = dev.borrow_mut().launch(api.now, s_bnd, kb);
         self.bnd_done = done;
@@ -257,13 +257,19 @@ impl HsgRank {
             let down_bytes = slab.pack_plane(1, color);
             let up_bytes = slab.pack_plane(self.lz, color);
             let mut dev = node.cuda[0].borrow_mut();
-            dev.mem.write(self.send_down[color as usize], &down_bytes).unwrap();
-            dev.mem.write(self.send_up[color as usize], &up_bytes).unwrap();
+            dev.mem
+                .write(self.send_down[color as usize], &down_bytes)
+                .unwrap();
+            dev.mem
+                .write(self.send_up[color as usize], &up_bytes)
+                .unwrap();
         } else {
             // Timing-only: the buffers still need materialized bytes.
             let zeros = vec![0u8; self.halo_len() as usize];
             let mut dev = node.cuda[0].borrow_mut();
-            dev.mem.write(self.send_down[color as usize], &zeros).unwrap();
+            dev.mem
+                .write(self.send_down[color as usize], &zeros)
+                .unwrap();
             dev.mem.write(self.send_up[color as usize], &zeros).unwrap();
         }
         // Exchange (np == 1 wraps locally instead).
@@ -291,7 +297,14 @@ impl HsgRank {
 
     /// Submit one halo message; `to_upper` selects the destination slot
     /// (my top plane becomes the upper neighbour's from-below ghost).
-    fn submit_halo(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>, src_gpu: u64, peer: Coord, to_upper: bool) {
+    fn submit_halo(
+        &mut self,
+        node: &mut NodeCtx,
+        api: &mut HostApi<'_, '_>,
+        src_gpu: u64,
+        peer: Coord,
+        to_upper: bool,
+    ) {
         let len = self.halo_len();
         let staged_tx = matches!(self.cfg.p2p, P2pMode::Off | P2pMode::Rx);
         let staged_rx = matches!(self.cfg.p2p, P2pMode::Off);
@@ -303,11 +316,25 @@ impl HsgRank {
             (true, false) => self.bounce_rx_above[c],
         };
         if staged_tx {
-            let bounce = if to_upper { self.bounce_tx_up[c] } else { self.bounce_tx_down[c] };
+            let bounce = if to_upper {
+                self.bounce_tx_up[c]
+            } else {
+                self.bounce_tx_down[c]
+            };
             let mut dev = node.cuda[0].borrow_mut();
             let mut hm = node.hostmem.borrow_mut();
-            let plan = staged_put(&mut node.ep, &mut dev, &mut hm, api.now, src_gpu, bounce, len, peer, dst)
-                .expect("staged halo put");
+            let plan = staged_put(
+                &mut node.ep,
+                &mut dev,
+                &mut hm,
+                api.now,
+                src_gpu,
+                bounce,
+                len,
+                peer,
+                dst,
+            )
+            .expect("staged halo put");
             for (t, desc) in plan.submissions {
                 self.tx_expect_total += 1;
                 api.submit(t.since(api.now), desc);
@@ -330,16 +357,40 @@ impl HsgRank {
         let within = |base: u64| dst_vaddr >= base && dst_vaddr < base + len;
         for c in 0..2 {
             if within(self.recv_from_below[c]) {
-                return (0, c, self.recv_from_below[c], dst_vaddr - self.recv_from_below[c], false);
+                return (
+                    0,
+                    c,
+                    self.recv_from_below[c],
+                    dst_vaddr - self.recv_from_below[c],
+                    false,
+                );
             }
             if within(self.recv_from_above[c]) {
-                return (self.lz + 1, c, self.recv_from_above[c], dst_vaddr - self.recv_from_above[c], false);
+                return (
+                    self.lz + 1,
+                    c,
+                    self.recv_from_above[c],
+                    dst_vaddr - self.recv_from_above[c],
+                    false,
+                );
             }
             if within(self.bounce_rx_below[c]) {
-                return (0, c, self.recv_from_below[c], dst_vaddr - self.bounce_rx_below[c], true);
+                return (
+                    0,
+                    c,
+                    self.recv_from_below[c],
+                    dst_vaddr - self.bounce_rx_below[c],
+                    true,
+                );
             }
             if within(self.bounce_rx_above[c]) {
-                return (self.lz + 1, c, self.recv_from_above[c], dst_vaddr - self.bounce_rx_above[c], true);
+                return (
+                    self.lz + 1,
+                    c,
+                    self.recv_from_above[c],
+                    dst_vaddr - self.bounce_rx_above[c],
+                    true,
+                );
             }
         }
         panic!("delivery at unknown address {dst_vaddr:#x}");
@@ -352,7 +403,14 @@ impl HsgRank {
             // Copy this chunk up to the GPU destination.
             let mut dev = node.cuda[0].borrow_mut();
             let mut hm = node.hostmem.borrow_mut();
-            usable = staged_recv_finish(&mut dev, &mut hm, api.now, dst_vaddr, gpu_base + offset, len);
+            usable = staged_recv_finish(
+                &mut dev,
+                &mut hm,
+                api.now,
+                dst_vaddr,
+                gpu_base + offset,
+                len,
+            );
         }
         let side = usize::from(ghost_plane != 0);
         self.halo_bytes_in[color][side] += len;
@@ -384,8 +442,7 @@ impl HsgRank {
 
     fn phase_comm_done(&self) -> bool {
         self.cfg.np == 1
-            || (self.halos_ready[self.color as usize] >= 2
-                && self.tx_seen_total >= self.tx_barrier)
+            || (self.halos_ready[self.color as usize] >= 2 && self.tx_seen_total >= self.tx_barrier)
     }
 
     fn maybe_finish_phase(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
@@ -519,7 +576,9 @@ pub fn run_apenet_on(cfg: &HsgConfig, node_cfg: NodeConfig) -> HsgResult {
     assert!(lz >= 2 || cfg.np == 1, "need at least 2 planes per rank");
     let dims = dims_for(cfg.np);
     let outcome = Rc::new(RefCell::new(
-        (0..cfg.np).map(|_| RankOutcome::default()).collect::<Vec<_>>(),
+        (0..cfg.np)
+            .map(|_| RankOutcome::default())
+            .collect::<Vec<_>>(),
     ));
     // Node n hosts the ring rank whose coordinate is n's coordinate.
     let mut node_to_rank = vec![0usize; cfg.np];
@@ -669,7 +728,11 @@ pub fn run_ib(cfg: &HsgConfig, ib: IbConfig) -> HsgResult {
             // Phase turnover.
             for r in 0..np {
                 let bulk_done = bnd[r] + cfg.cost.kernel(bulk_sites, resident);
-                let comm_end = if np > 1 { arrivals[r].max(send_free[r]) } else { bnd[r] };
+                let comm_end = if np > 1 {
+                    arrivals[r].max(send_free[r])
+                } else {
+                    bnd[r]
+                };
                 tbnd_acc += bnd[r].since(clocks[r]);
                 if np > 1 {
                     tnet_acc += comm_end.since(bnd[r]);
@@ -679,7 +742,10 @@ pub fn run_ib(cfg: &HsgConfig, ib: IbConfig) -> HsgResult {
         }
     }
     let spins = (cfg.l as f64).powi(3) * cfg.steps as f64;
-    let wall = clocks.iter().fold(SimTime::ZERO, |a, &t| a.max(t)).since(SimTime::ZERO);
+    let wall = clocks
+        .iter()
+        .fold(SimTime::ZERO, |a, &t| a.max(t))
+        .since(SimTime::ZERO);
     HsgResult {
         ttot_ps: wall.as_ps() as f64 / spins,
         tbnd_net_ps: (tbnd_acc.as_ps() as f64 + tnet_acc.as_ps() as f64) / (np as f64 * spins),

@@ -30,7 +30,12 @@ fn staged_modes_compute_identically() {
 fn energy_conserved_through_network() {
     let r = run_apenet(&HsgConfig::small(16, 4, P2pMode::On));
     let rel = (r.energy_final - r.energy_initial).abs() / r.energy_initial.abs().max(1.0);
-    assert!(rel < 1e-3, "energy drift {rel}: {} -> {}", r.energy_initial, r.energy_final);
+    assert!(
+        rel < 1e-3,
+        "energy drift {rel}: {} -> {}",
+        r.energy_initial,
+        r.energy_final
+    );
     assert!(r.energy_initial != 0.0);
 }
 
@@ -38,7 +43,10 @@ fn energy_conserved_through_network() {
 fn ib_reference_matches_physics_too() {
     let ape = run_apenet(&HsgConfig::small(8, 2, P2pMode::On));
     let ib = run_ib(&HsgConfig::small(8, 2, P2pMode::On), IbConfig::cluster_ii());
-    assert_eq!(ape.checksum, ib.checksum, "transport must not change physics");
+    assert_eq!(
+        ape.checksum, ib.checksum,
+        "transport must not change physics"
+    );
 }
 
 #[test]
@@ -48,13 +56,29 @@ fn table2_strong_scaling_shape() {
         .iter()
         .map(|&np| run_apenet(&HsgConfig::paper(256, np, P2pMode::On)).ttot_ps)
         .collect();
-    assert!((870.0..970.0).contains(&t[0]), "NP=1 Ttot {} (paper 921)", t[0]);
-    assert!((380.0..460.0).contains(&t[1]), "NP=2 Ttot {} (paper 416)", t[1]);
-    assert!((185.0..230.0).contains(&t[2]), "NP=4 Ttot {} (paper 202)", t[2]);
+    assert!(
+        (870.0..970.0).contains(&t[0]),
+        "NP=1 Ttot {} (paper 921)",
+        t[0]
+    );
+    assert!(
+        (380.0..460.0).contains(&t[1]),
+        "NP=2 Ttot {} (paper 416)",
+        t[1]
+    );
+    assert!(
+        (185.0..230.0).contains(&t[2]),
+        "NP=4 Ttot {} (paper 202)",
+        t[2]
+    );
     // The naive ring-on-torus embedding degrades NP = 8 (paper: 148,
     // i.e. well off the ideal ~110; the convoy effect is stronger in the
     // model — see EXPERIMENTS.md and the snake-embedding ablation).
-    assert!((120.0..200.0).contains(&t[3]), "NP=8 Ttot {} (paper 148)", t[3]);
+    assert!(
+        (120.0..200.0).contains(&t[3]),
+        "NP=8 Ttot {} (paper 148)",
+        t[3]
+    );
 }
 
 #[test]
@@ -69,16 +93,33 @@ fn table3_p2p_modes_ordering() {
         off.tnet_ps,
         on.tnet_ps
     );
-    assert!((80.0..115.0).contains(&on.tnet_ps), "Tnet ON {} (paper 97)", on.tnet_ps);
-    assert!((100.0..135.0).contains(&off.tnet_ps), "Tnet OFF {} (paper 114)", off.tnet_ps);
+    assert!(
+        (80.0..115.0).contains(&on.tnet_ps),
+        "Tnet ON {} (paper 97)",
+        on.tnet_ps
+    );
+    assert!(
+        (100.0..135.0).contains(&off.tnet_ps),
+        "Tnet OFF {} (paper 114)",
+        off.tnet_ps
+    );
     // RX-only staging is competitive (the paper even saw it beat full
     // P2P at 91 ps; in the model the staged-TX pipeline head leaves it
     // between ON and OFF — see EXPERIMENTS.md).
-    assert!(rx.tnet_ps < off.tnet_ps * 1.06, "rx {} vs off {}", rx.tnet_ps, off.tnet_ps);
+    assert!(
+        rx.tnet_ps < off.tnet_ps * 1.06,
+        "rx {} vs off {}",
+        rx.tnet_ps,
+        off.tnet_ps
+    );
     assert!(rx.tnet_ps > on.tnet_ps * 0.9);
     // Ttot at NP=2: bulk hides communication (paper: 416 for all modes).
     for r in [&on, &rx, &off] {
-        assert!((380.0..470.0).contains(&r.ttot_ps), "Ttot {} (paper 416)", r.ttot_ps);
+        assert!(
+            (380.0..470.0).contains(&r.ttot_ps),
+            "Ttot {} (paper 416)",
+            r.ttot_ps
+        );
     }
 }
 
@@ -89,7 +130,10 @@ fn fig11_superlinear_at_512() {
     let t1 = run_apenet(&HsgConfig::paper(512, 1, P2pMode::On)).ttot_ps;
     let t8 = run_apenet(&HsgConfig::paper(512, 8, P2pMode::On)).ttot_ps;
     let speedup = t1 / t8;
-    assert!((1400.0..1550.0).contains(&t1), "NP=1 Ttot {t1} (paper 1471)");
+    assert!(
+        (1400.0..1550.0).contains(&t1),
+        "NP=1 Ttot {t1} (paper 1471)"
+    );
     assert!(speedup > 8.0, "super-linear expected, got {speedup}");
     assert!(speedup < 14.0, "speed-up {speedup} beyond plausible");
 }
@@ -113,6 +157,15 @@ fn ablation_snake_embedding_fixes_np8() {
     let mut cfg = HsgConfig::paper(256, 8, P2pMode::On);
     cfg.snake = true;
     let snake = run_apenet(&cfg);
-    assert!(snake.ttot_ps < naive.ttot_ps * 0.75, "snake {} vs naive {}", snake.ttot_ps, naive.ttot_ps);
-    assert!((95.0..130.0).contains(&snake.ttot_ps), "snake Ttot {}", snake.ttot_ps);
+    assert!(
+        snake.ttot_ps < naive.ttot_ps * 0.75,
+        "snake {} vs naive {}",
+        snake.ttot_ps,
+        naive.ttot_ps
+    );
+    assert!(
+        (95.0..130.0).contains(&snake.ttot_ps),
+        "snake Ttot {}",
+        snake.ttot_ps
+    );
 }

@@ -1,0 +1,18 @@
+//! Run the in-tree microbenchmark suite and write `BENCH_microbench.json`.
+
+use apenet_bench::microbench::{self, Harness};
+
+fn main() {
+    let mut h = Harness::from_env();
+    println!(
+        "# apenet microbench — {} samples after {} warmup rounds",
+        h.iters, h.warmup
+    );
+    microbench::run_all(&mut h);
+    let json = h.to_json();
+    std::fs::write("BENCH_microbench.json", &json).expect("write BENCH_microbench.json");
+    eprintln!(
+        "[microbench] wrote BENCH_microbench.json ({} benches)",
+        h.results.len()
+    );
+}

@@ -1,11 +1,17 @@
-//! Regenerate every table and figure into `results/`, running the
-//! independent deterministic simulations on a thread per experiment.
+//! Regenerate every table and figure into `results/`.
+//!
+//! Experiments fan out through [`apenet_bench::sweep`], so the driver
+//! and the per-figure sweeps share one global thread budget
+//! (`APENET_SWEEP_THREADS`). The run is repeated serially to record the
+//! parallel payoff in `BENCH_repro_all.json`; set
+//! `APENET_REPRO_NO_BASELINE=1` to skip the serial reference pass.
 
-use apenet_bench::figs;
+use apenet_bench::{figs, sweep};
+use apenet_sim::engine;
 use std::time::Instant;
 
-fn main() {
-    let jobs: Vec<(&str, fn())> = vec![
+fn jobs() -> Vec<(&'static str, fn())> {
+    vec![
         ("fig03", figs::fig03::run),
         ("table1", figs::table1::run),
         ("fig04", figs::fig04::run),
@@ -22,19 +28,63 @@ fn main() {
         ("fig12", figs::fig12::run),
         ("bar1_ablation", figs::bar1_ablation::run),
         ("bidir", figs::bidir::run),
-    ];
+    ]
+}
+
+/// One full pass over every experiment; returns (wall seconds, events).
+fn run_all(tag: &str) -> (f64, u64) {
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for (name, f) in jobs {
-            scope.spawn(move || {
-                let t = Instant::now();
-                f();
-                eprintln!("[repro-all] {name} done in {:.1}s", t.elapsed().as_secs_f64());
-            });
-        }
+    let ev0 = engine::global_events();
+    let jobs = jobs();
+    sweep::map(&jobs, |(name, f)| {
+        let t = Instant::now();
+        f();
+        eprintln!(
+            "[repro-all/{tag}] {name} done in {:.1}s",
+            t.elapsed().as_secs_f64()
+        );
     });
+    (start.elapsed().as_secs_f64(), engine::global_events() - ev0)
+}
+
+fn main() {
+    let threads = sweep::threads();
+    let (par_s, par_ev) = run_all("parallel");
+    let par_eps = par_ev as f64 / par_s.max(1e-9);
     eprintln!(
-        "[repro-all] all experiments regenerated in {:.1}s -> results/",
-        start.elapsed().as_secs_f64()
+        "[repro-all] parallel ({threads} threads): {par_ev} events in {par_s:.1}s \
+         ({par_eps:.0} events/s) -> results/"
     );
+
+    let baseline = std::env::var_os("APENET_REPRO_NO_BASELINE").is_none();
+    let serial = baseline.then(|| {
+        sweep::set_threads(1);
+        let (ser_s, ser_ev) = run_all("serial");
+        sweep::set_threads(0);
+        let ser_eps = ser_ev as f64 / ser_s.max(1e-9);
+        eprintln!(
+            "[repro-all] serial reference: {ser_ev} events in {ser_s:.1}s ({ser_eps:.0} events/s); \
+             parallel speedup x{:.2}",
+            ser_s / par_s.max(1e-9)
+        );
+        (ser_s, ser_ev, ser_eps)
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"parallel\": {{\"wall_s\": {par_s:.3}, \"events\": {par_ev}, \"events_per_sec\": {par_eps:.1}}}"
+    ));
+    if let Some((ser_s, ser_ev, ser_eps)) = serial {
+        json.push_str(",\n");
+        json.push_str(&format!(
+            "  \"serial\": {{\"wall_s\": {ser_s:.3}, \"events\": {ser_ev}, \"events_per_sec\": {ser_eps:.1}}},\n"
+        ));
+        json.push_str(&format!("  \"speedup\": {:.3}\n", ser_s / par_s.max(1e-9)));
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_repro_all.json", json).expect("write BENCH_repro_all.json");
+    eprintln!("[repro-all] wrote BENCH_repro_all.json");
 }

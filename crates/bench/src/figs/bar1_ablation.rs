@@ -2,7 +2,7 @@
 //! more promising"): the card's GPU-read transport — GPUDirect P2P vs
 //! BAR1 aperture reads — across architectures and message sizes.
 
-use crate::{count_for, emit, sizes_4kb_4mb};
+use crate::{count_for, emit, sizes_4kb_4mb, sweep};
 use apenet_cluster::harness::{flush_read_bandwidth, BufSide};
 use apenet_cluster::presets::{plx_node, plx_node_bar1};
 use apenet_core::config::GpuTxVersion;
@@ -11,22 +11,32 @@ use apenet_sim::stats::{render_table, Series};
 
 /// Regenerate this experiment.
 pub fn run() {
-    let mut series = Vec::new();
-    for (label, arch, bar1) in [
+    let curves = [
         ("Fermi P2P", GpuArch::Fermi2050, false),
         ("Fermi BAR1", GpuArch::Fermi2050, true),
         ("Kepler P2P", GpuArch::KeplerK20, false),
         ("Kepler BAR1", GpuArch::KeplerK20, true),
-    ] {
+    ];
+    let sizes = sizes_4kb_4mb();
+    let points: Vec<(GpuArch, bool, u64)> = curves
+        .iter()
+        .flat_map(|&(_, arch, bar1)| sizes.iter().map(move |&size| (arch, bar1, size)))
+        .collect();
+    let values = sweep::map(&points, |&(arch, bar1, size)| {
+        let cfg = if bar1 {
+            plx_node_bar1(arch, 128 * 1024)
+        } else {
+            plx_node(arch, GpuTxVersion::V3, 128 * 1024)
+        };
+        let r = flush_read_bandwidth(cfg, BufSide::Gpu, size, count_for(size));
+        r.bandwidth.mb_per_sec_f64()
+    });
+    let mut series = Vec::new();
+    let mut it = values.into_iter();
+    for (label, _, _) in curves {
         let mut s = Series::new(label);
-        for size in sizes_4kb_4mb() {
-            let cfg = if bar1 {
-                plx_node_bar1(arch, 128 * 1024)
-            } else {
-                plx_node(arch, GpuTxVersion::V3, 128 * 1024)
-            };
-            let r = flush_read_bandwidth(cfg, BufSide::Gpu, size, count_for(size));
-            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        for (&size, v) in sizes.iter().zip(it.by_ref()) {
+            s.push(size as f64, v);
         }
         series.push(s);
     }

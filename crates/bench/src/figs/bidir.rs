@@ -2,41 +2,62 @@
 //! plots: "the APEnet+ bi-directional bandwidth, which is not reported
 //! here, will reflect a similar behaviour [to the loop-back plot]" (§IV).
 
-use crate::{count_for, emit, sizes_4kb_4mb};
-use apenet_cluster::harness::{two_node_bandwidth, two_node_bidir_bandwidth, BufSide, TwoNodeParams};
+use crate::{count_for, emit, sizes_4kb_4mb, sweep};
+use apenet_cluster::harness::{
+    two_node_bandwidth, two_node_bidir_bandwidth, BufSide, TwoNodeParams,
+};
 use apenet_cluster::presets::cluster_i_node;
 use apenet_core::config::GpuTxVersion;
 use apenet_sim::stats::{render_table, Series};
 
 /// Regenerate this experiment.
 pub fn run() {
-    let mut series = Vec::new();
-    for (label, version, window) in [
-        ("bidir v2 w=32KB", GpuTxVersion::V2, 32 * 1024u64),
-        ("bidir v3 w=128KB", GpuTxVersion::V3, 128 * 1024),
-    ] {
-        let mut s = Series::new(label);
-        for size in sizes_4kb_4mb() {
-            let r = two_node_bidir_bandwidth(
+    let curves = [
+        ("bidir v2 w=32KB", GpuTxVersion::V2, 32 * 1024u64, true),
+        ("bidir v3 w=128KB", GpuTxVersion::V3, 128 * 1024, true),
+        ("uni v3 (reference)", GpuTxVersion::V3, 128 * 1024, false),
+    ];
+    let sizes = sizes_4kb_4mb();
+    let points: Vec<(GpuTxVersion, u64, bool, u64)> = curves
+        .iter()
+        .flat_map(|&(_, version, window, bidir)| {
+            sizes
+                .iter()
+                .map(move |&size| (version, window, bidir, size))
+        })
+        .collect();
+    let values = sweep::map(&points, |&(version, window, bidir, size)| {
+        let r = if bidir {
+            two_node_bidir_bandwidth(
                 cluster_i_node(version, window),
                 BufSide::Gpu,
                 BufSide::Gpu,
                 size,
                 count_for(size),
-            );
-            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+            )
+        } else {
+            two_node_bandwidth(
+                cluster_i_node(version, window),
+                TwoNodeParams {
+                    src: BufSide::Gpu,
+                    dst: BufSide::Gpu,
+                    size,
+                    count: count_for(size),
+                    staged: false,
+                },
+            )
+        };
+        r.bandwidth.mb_per_sec_f64()
+    });
+    let mut series = Vec::new();
+    let mut it = values.into_iter();
+    for (label, _, _, _) in curves {
+        let mut s = Series::new(label);
+        for (&size, v) in sizes.iter().zip(it.by_ref()) {
+            s.push(size as f64, v);
         }
         series.push(s);
     }
-    let mut uni = Series::new("uni v3 (reference)");
-    for size in sizes_4kb_4mb() {
-        let r = two_node_bandwidth(
-            cluster_i_node(GpuTxVersion::V3, 128 * 1024),
-            TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size, count: count_for(size), staged: false },
-        );
-        uni.push(size as f64, r.bandwidth.mb_per_sec_f64());
-    }
-    series.push(uni);
     let mut out = String::from(
         "# Extension — two-node G-G bi-directional aggregate bandwidth.\n\
          # As the paper predicts, it mirrors the loop-back plot: both datapaths\n\

@@ -2,7 +2,7 @@
 //! with TX injection FIFOs flushed; one curve per GPU_P2P_TX generation
 //! and prefetch window.
 
-use crate::{count_for, emit, sizes_4kb_4mb};
+use crate::{count_for, emit, sizes_4kb_4mb, sweep};
 use apenet_cluster::harness::{flush_read_bandwidth, BufSide};
 use apenet_cluster::presets::plx_node;
 use apenet_core::config::GpuTxVersion;
@@ -24,13 +24,23 @@ pub fn fig04_curves() -> Vec<(String, GpuTxVersion, u64)> {
 
 /// Regenerate this experiment.
 pub fn run() {
+    let sizes = sizes_4kb_4mb();
+    let curves = fig04_curves();
+    let points: Vec<(GpuTxVersion, u64, u64)> = curves
+        .iter()
+        .flat_map(|&(_, version, window)| sizes.iter().map(move |&size| (version, window, size)))
+        .collect();
+    let values = sweep::map(&points, |&(version, window, size)| {
+        let cfg = plx_node(GpuArch::Fermi2050, version, window);
+        let r = flush_read_bandwidth(cfg, BufSide::Gpu, size, count_for(size));
+        r.bandwidth.mb_per_sec_f64()
+    });
     let mut series = Vec::new();
-    for (label, version, window) in fig04_curves() {
+    let mut it = values.into_iter();
+    for (label, _, _) in curves {
         let mut s = Series::new(label);
-        for size in sizes_4kb_4mb() {
-            let cfg = plx_node(GpuArch::Fermi2050, version, window);
-            let r = flush_read_bandwidth(cfg, BufSide::Gpu, size, count_for(size));
-            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        for (&size, v) in sizes.iter().zip(it.by_ref()) {
+            s.push(size as f64, v);
         }
         series.push(s);
     }

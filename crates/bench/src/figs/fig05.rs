@@ -2,7 +2,7 @@
 //! (G-G), where the Nios II serves both the GPU-TX control and the RX
 //! processing; the v3 offload's headroom shows up here.
 
-use crate::{count_for, emit, sizes_4kb_4mb};
+use crate::{count_for, emit, sizes_4kb_4mb, sweep};
 use apenet_cluster::harness::{loopback_bandwidth, BufSide};
 use apenet_cluster::presets::plx_node;
 use apenet_core::config::GpuTxVersion;
@@ -11,7 +11,7 @@ use apenet_sim::stats::{render_table, Series};
 
 /// Regenerate this experiment.
 pub fn run() {
-    let curves = vec![
+    let curves = [
         ("v1", GpuTxVersion::V1, 4 * 1024u64),
         ("v2 window=4KB", GpuTxVersion::V2, 4 * 1024),
         ("v2 window=8KB", GpuTxVersion::V2, 8 * 1024),
@@ -20,13 +20,22 @@ pub fn run() {
         ("v3 window=64KB", GpuTxVersion::V3, 64 * 1024),
         ("v3 window=128KB", GpuTxVersion::V3, 128 * 1024),
     ];
+    let sizes = sizes_4kb_4mb();
+    let points: Vec<(GpuTxVersion, u64, u64)> = curves
+        .iter()
+        .flat_map(|&(_, version, window)| sizes.iter().map(move |&size| (version, window, size)))
+        .collect();
+    let values = sweep::map(&points, |&(version, window, size)| {
+        let cfg = plx_node(GpuArch::Fermi2050, version, window);
+        let r = loopback_bandwidth(cfg, BufSide::Gpu, BufSide::Gpu, size, count_for(size));
+        r.bandwidth.mb_per_sec_f64()
+    });
     let mut series = Vec::new();
-    for (label, version, window) in curves {
+    let mut it = values.into_iter();
+    for (label, _, _) in curves {
         let mut s = Series::new(label);
-        for size in sizes_4kb_4mb() {
-            let cfg = plx_node(GpuArch::Fermi2050, version, window);
-            let r = loopback_bandwidth(cfg, BufSide::Gpu, BufSide::Gpu, size, count_for(size));
-            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        for (&size, v) in sizes.iter().zip(it.by_ref()) {
+            s.push(size as f64, v);
         }
         series.push(s);
     }

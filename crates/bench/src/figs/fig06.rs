@@ -1,7 +1,7 @@
 //! Fig. 6 — two-node uni-directional bandwidth for every combination of
 //! source and destination buffer type.
 
-use crate::{count_for, emit, sizes_32b_4mb};
+use crate::{count_for, emit, sizes_32b_4mb, sweep};
 use apenet_cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
 use apenet_cluster::presets::cluster_i_default;
 use apenet_sim::stats::{render_table, Series};
@@ -14,15 +14,30 @@ pub fn run() {
         ("G-H", BufSide::Gpu, BufSide::Host),
         ("G-G", BufSide::Gpu, BufSide::Gpu),
     ];
+    let sizes = sizes_32b_4mb();
+    let points: Vec<(BufSide, BufSide, u64)> = combos
+        .iter()
+        .flat_map(|&(_, src, dst)| sizes.iter().map(move |&size| (src, dst, size)))
+        .collect();
+    let values = sweep::map(&points, |&(src, dst, size)| {
+        let r = two_node_bandwidth(
+            cluster_i_default(),
+            TwoNodeParams {
+                src,
+                dst,
+                size,
+                count: count_for(size),
+                staged: false,
+            },
+        );
+        r.bandwidth.mb_per_sec_f64()
+    });
     let mut series = Vec::new();
-    for (label, src, dst) in combos {
+    let mut it = values.into_iter();
+    for (label, _, _) in combos {
         let mut s = Series::new(label);
-        for size in sizes_32b_4mb() {
-            let r = two_node_bandwidth(
-                cluster_i_default(),
-                TwoNodeParams { src, dst, size, count: count_for(size), staged: false },
-            );
-            s.push(size as f64, r.bandwidth.mb_per_sec_f64());
+        for (&size, v) in sizes.iter().zip(it.by_ref()) {
+            s.push(size as f64, v);
         }
         series.push(s);
     }

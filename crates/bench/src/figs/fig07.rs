@@ -2,7 +2,7 @@
 //! staging vs MVAPICH2 over InfiniBand. The paper's crossovers: P2P wins
 //! below ~32 KB, staging beyond it, IB overtakes both for large messages.
 
-use crate::{count_for, emit, sizes_32b_4mb};
+use crate::{count_for, emit, sizes_32b_4mb, sweep};
 use apenet_cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
 use apenet_cluster::presets::cluster_i_default;
 use apenet_ib::osu::osu_bw_gg;
@@ -15,26 +15,50 @@ pub fn run() {
     let mut p2p = Series::new("G-G APEnet+ P2P=ON");
     let mut ib = Series::new("G-G IB MVAPICH 1.9a2");
     let mut staged = Series::new("G-G APEnet+ P2P=OFF");
-    for size in sizes_32b_4mb() {
+    let sizes = sizes_32b_4mb();
+    let values = sweep::map(&sizes, |&size| {
         let on = two_node_bandwidth(
             cluster_i_default(),
-            TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size, count: count_for(size), staged: false },
+            TwoNodeParams {
+                src: BufSide::Gpu,
+                dst: BufSide::Gpu,
+                size,
+                count: count_for(size),
+                staged: false,
+            },
         );
-        p2p.push(size as f64, on.bandwidth.mb_per_sec_f64());
         let off = two_node_bandwidth(
             cluster_i_default(),
-            TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size, count: count_for(size), staged: true },
+            TwoNodeParams {
+                src: BufSide::Gpu,
+                dst: BufSide::Gpu,
+                size,
+                count: count_for(size),
+                staged: true,
+            },
         );
-        staged.push(size as f64, off.bandwidth.mb_per_sec_f64());
         let mut mpi = CudaAwareMpi::new(2, IbConfig::cluster_ii());
         let b = osu_bw_gg(&mut mpi, size, count_for(size).max(4));
-        ib.push(size as f64, b.mb_per_sec_f64());
+        (
+            on.bandwidth.mb_per_sec_f64(),
+            off.bandwidth.mb_per_sec_f64(),
+            b.mb_per_sec_f64(),
+        )
+    });
+    for (&size, &(on, off, b)) in sizes.iter().zip(&values) {
+        p2p.push(size as f64, on);
+        staged.push(size as f64, off);
+        ib.push(size as f64, b);
     }
     let mut out = String::from(
         "# Fig. 7 — APEnet+ vs InfiniBand, G-G bandwidth (paper: P2P best up to 32 KB,\n\
          # then staging; MVAPICH2 pipelining wins the multi-MB regime)\n",
     );
-    out.push_str(&render_table(&[p2p.clone(), ib, staged.clone()], "msg bytes", "MB/s"));
+    out.push_str(&render_table(
+        &[p2p.clone(), ib, staged.clone()],
+        "msg bytes",
+        "MB/s",
+    ));
     if let Some(x) = p2p.crossover_below(&staged) {
         let _ = writeln!(out, "\nP2P/staging crossover near {x:.0} B (paper: ~32 KB)");
     }

@@ -1,7 +1,7 @@
 //! Fig. 8 — APEnet+ latency (half round-trip) for every combination of
 //! source and destination buffer type.
 
-use crate::{emit, sizes_32b_4kb};
+use crate::{emit, sizes_32b_4kb, sweep};
 use apenet_cluster::harness::{pingpong_half_rtt, BufSide};
 use apenet_cluster::presets::cluster_i_default;
 use apenet_sim::stats::{render_table, Series};
@@ -14,12 +14,20 @@ pub fn run() {
         ("G-H", BufSide::Gpu, BufSide::Host),
         ("G-G", BufSide::Gpu, BufSide::Gpu),
     ];
+    let sizes = sizes_32b_4kb();
+    let points: Vec<(BufSide, BufSide, u64)> = combos
+        .iter()
+        .flat_map(|&(_, src, dst)| sizes.iter().map(move |&size| (src, dst, size)))
+        .collect();
+    let values = sweep::map(&points, |&(src, dst, size)| {
+        pingpong_half_rtt(cluster_i_default(), src, dst, size, 12, false).as_us_f64()
+    });
     let mut series = Vec::new();
-    for (label, src, dst) in combos {
+    let mut it = values.into_iter();
+    for (label, _, _) in combos {
         let mut s = Series::new(label);
-        for size in sizes_32b_4kb() {
-            let lat = pingpong_half_rtt(cluster_i_default(), src, dst, size, 12, false);
-            s.push(size as f64, lat.as_us_f64());
+        for (&size, v) in sizes.iter().zip(it.by_ref()) {
+            s.push(size as f64, v);
         }
         series.push(s);
     }

@@ -1,7 +1,7 @@
 //! Fig. 9 — G-G latency: APEnet+ peer-to-peer vs staging vs MVAPICH2 over
 //! InfiniBand. "peer-to-peer has 50% less latency than staging."
 
-use crate::emit;
+use crate::{emit, sweep};
 use apenet_cluster::harness::{pingpong_half_rtt, BufSide};
 use apenet_cluster::presets::cluster_i_default;
 use apenet_ib::osu::osu_latency_gg;
@@ -15,22 +15,40 @@ pub fn run() {
     let mut p2p = Series::new("G-G APEnet+ P2P=ON");
     let mut ib = Series::new("G-G IB MVAPICH 1.9a2");
     let mut staged = Series::new("G-G APEnet+ P2P=OFF");
-    for &size in &sizes {
-        p2p.push(
-            size as f64,
-            pingpong_half_rtt(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, size, 10, false).as_us_f64(),
+    let values = sweep::map(&sizes, |&size| {
+        let on = pingpong_half_rtt(
+            cluster_i_default(),
+            BufSide::Gpu,
+            BufSide::Gpu,
+            size,
+            10,
+            false,
         );
-        staged.push(
-            size as f64,
-            pingpong_half_rtt(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, size, 10, true).as_us_f64(),
+        let off = pingpong_half_rtt(
+            cluster_i_default(),
+            BufSide::Gpu,
+            BufSide::Gpu,
+            size,
+            10,
+            true,
         );
         let mut mpi = CudaAwareMpi::new(2, IbConfig::cluster_ii());
-        ib.push(size as f64, osu_latency_gg(&mut mpi, size, 10).as_us_f64());
+        let lat = osu_latency_gg(&mut mpi, size, 10);
+        (on.as_us_f64(), off.as_us_f64(), lat.as_us_f64())
+    });
+    for (&size, &(on, off, lat)) in sizes.iter().zip(&values) {
+        p2p.push(size as f64, on);
+        staged.push(size as f64, off);
+        ib.push(size as f64, lat);
     }
     let mut out = String::from(
         "# Fig. 9 — G-G latency (paper at 32 B: P2P 8.2 us, staging 16.8 us, IB 17.4 us)\n",
     );
-    out.push_str(&render_table(&[p2p.clone(), ib.clone(), staged.clone()], "msg bytes", "us"));
+    out.push_str(&render_table(
+        &[p2p.clone(), ib.clone(), staged.clone()],
+        "msg bytes",
+        "us",
+    ));
     let _ = writeln!(
         out,
         "\nsmall-message anchors: P2P {:.1} us (paper 8.2), staging {:.1} us (16.8), IB {:.1} us (17.4)",

@@ -3,7 +3,7 @@
 //! send-to-receive time which does not overlap with subsequent
 //! transmissions").
 
-use crate::{emit, sizes_32b_4kb};
+use crate::{emit, sizes_32b_4kb, sweep};
 use apenet_cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
 use apenet_cluster::presets::cluster_i_default;
 use apenet_sim::stats::{render_table, Series};
@@ -12,7 +12,13 @@ use std::fmt::Write;
 fn overhead_us(src: BufSide, dst: BufSide, size: u64, staged: bool) -> f64 {
     let r = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src, dst, size, count: 24, staged },
+        TwoNodeParams {
+            src,
+            dst,
+            size,
+            count: 24,
+            staged,
+        },
     );
     // Per-message steady interval = 1 / message rate.
     size as f64 / r.bandwidth.bytes_per_sec() as f64 * 1e6
@@ -23,16 +29,28 @@ pub fn run() {
     let mut hh = Series::new("H-H APEnet+");
     let mut gg_on = Series::new("G-G APEnet+ P2P=ON");
     let mut gg_off = Series::new("G-G APEnet+ P2P=OFF");
-    for size in sizes_32b_4kb() {
-        hh.push(size as f64, overhead_us(BufSide::Host, BufSide::Host, size, false));
-        gg_on.push(size as f64, overhead_us(BufSide::Gpu, BufSide::Gpu, size, false));
-        gg_off.push(size as f64, overhead_us(BufSide::Gpu, BufSide::Gpu, size, true));
+    let sizes = sizes_32b_4kb();
+    let values = sweep::map(&sizes, |&size| {
+        (
+            overhead_us(BufSide::Host, BufSide::Host, size, false),
+            overhead_us(BufSide::Gpu, BufSide::Gpu, size, false),
+            overhead_us(BufSide::Gpu, BufSide::Gpu, size, true),
+        )
+    });
+    for (&size, &(h, on, off)) in sizes.iter().zip(&values) {
+        hh.push(size as f64, h);
+        gg_on.push(size as f64, on);
+        gg_off.push(size as f64, off);
     }
     let mut out = String::from(
         "# Fig. 10 — host overhead via bandwidth test (paper at small sizes: H-H ~5 us,\n\
          # G-G P2P ~8 us, G-G staged ~17 us — the blocking cudaMemcpy D2H does not overlap)\n",
     );
-    out.push_str(&render_table(&[hh.clone(), gg_on.clone(), gg_off.clone()], "msg bytes", "us"));
+    out.push_str(&render_table(
+        &[hh.clone(), gg_on.clone(), gg_off.clone()],
+        "msg bytes",
+        "us",
+    ));
     let _ = writeln!(
         out,
         "\n32 B anchors: H-H {:.1} us (paper ~5), P2P {:.1} us (~8), staged {:.1} us (~17)",

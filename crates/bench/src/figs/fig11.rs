@@ -1,8 +1,8 @@
 //! Fig. 11 — HSG strong-scaling speed-up for L = 128/256/512 and the
 //! three P2P modes, plus the snake-embedding ablation.
 
-use apenet_apps::hsg::{run_apenet, HsgConfig, P2pMode};
 use crate::emit;
+use apenet_apps::hsg::{run_apenet, HsgConfig, P2pMode};
 use apenet_sim::stats::{render_table, Series};
 use std::fmt::Write;
 

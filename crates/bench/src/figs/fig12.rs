@@ -1,9 +1,9 @@
 //! Fig. 12 — break-down of the BFS execution time per task, APEnet+ vs
 //! InfiniBand, four GPUs.
 
+use crate::emit;
 use apenet_apps::bfs::run::{run_apenet, run_ib};
 use apenet_apps::bfs::BfsConfig;
-use crate::emit;
 use apenet_ib::IbConfig;
 use std::fmt::Write;
 

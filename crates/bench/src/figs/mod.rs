@@ -1,7 +1,8 @@
 //! One module per table/figure of the paper; each exposes `run()`.
 
+pub mod bar1_ablation;
+pub mod bidir;
 pub mod fig03;
-pub mod table1;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;
@@ -9,10 +10,9 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod table1;
 pub mod table2;
 pub mod table3;
-pub mod fig11;
 pub mod table4;
-pub mod fig12;
-pub mod bar1_ablation;
-pub mod bidir;

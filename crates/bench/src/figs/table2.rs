@@ -1,8 +1,8 @@
 //! Table II — HSG strong scaling on APEnet+, L = 256, P2P = ON
 //! (times in picoseconds per single-spin update).
 
+use crate::{emit, sweep};
 use apenet_apps::hsg::{run_apenet, HsgConfig, P2pMode};
-use crate::emit;
 use std::fmt::Write;
 
 /// Regenerate this experiment.
@@ -21,8 +21,10 @@ pub fn run() {
         "{:>3} | {:>8} {:>8} | {:>10} {:>10} | {:>8} {:>8}",
         "NP", "Ttot(p)", "Ttot(m)", "Tb+Tn(p)", "Tb+Tn(m)", "Tnet(p)", "Tnet(m)"
     );
-    for (np, p_ttot, p_bn, p_net) in paper {
-        let r = run_apenet(&HsgConfig::paper(256, np, P2pMode::On));
+    let results = sweep::map(&paper, |&(np, _, _, _)| {
+        run_apenet(&HsgConfig::paper(256, np, P2pMode::On))
+    });
+    for ((np, p_ttot, p_bn, p_net), r) in paper.into_iter().zip(results) {
         let _ = writeln!(
             out,
             "{np:>3} | {p_ttot:>8.0} {:>8.0} | {p_bn:>10.0} {:>10.0} | {p_net:>8.0} {:>8.0}",

@@ -1,8 +1,8 @@
 //! Table III — HSG two-node break-down by P2P mode, L = 256, plus the
 //! OpenMPI-over-InfiniBand references.
 
+use crate::{emit, sweep};
 use apenet_apps::hsg::{run_apenet, run_ib, HsgConfig, P2pMode};
-use crate::emit;
 use apenet_ib::IbConfig;
 use std::fmt::Write;
 
@@ -22,26 +22,62 @@ pub fn run() {
         "{:<26} | {:>8} {:>8} | {:>10} {:>10} | {:>8} {:>8}",
         "column", "Ttot(p)", "Ttot(m)", "Tb+Tn(p)", "Tb+Tn(m)", "Tnet(p)", "Tnet(m)"
     );
-    let rows: Vec<(&str, f64, f64, f64, apenet_apps::hsg::HsgResult)> = vec![
-        ("APEnet+ P2P=ON", 416.0, 108.0, 97.0, run_apenet(&HsgConfig::paper(256, 2, P2pMode::On))),
-        ("APEnet+ P2P=RX", 416.0, 97.0, 91.0, run_apenet(&HsgConfig::paper(256, 2, P2pMode::Rx))),
-        ("APEnet+ P2P=OFF", 416.0, 122.0, 114.0, run_apenet(&HsgConfig::paper(256, 2, P2pMode::Off))),
+    type Job = (
+        &'static str,
+        f64,
+        f64,
+        f64,
+        Box<dyn Fn() -> apenet_apps::hsg::HsgResult + Sync>,
+    );
+    let rows: Vec<Job> = vec![
+        (
+            "APEnet+ P2P=ON",
+            416.0,
+            108.0,
+            97.0,
+            Box::new(|| run_apenet(&HsgConfig::paper(256, 2, P2pMode::On))),
+        ),
+        (
+            "APEnet+ P2P=RX",
+            416.0,
+            97.0,
+            91.0,
+            Box::new(|| run_apenet(&HsgConfig::paper(256, 2, P2pMode::Rx))),
+        ),
+        (
+            "APEnet+ P2P=OFF",
+            416.0,
+            122.0,
+            114.0,
+            Box::new(|| run_apenet(&HsgConfig::paper(256, 2, P2pMode::Off))),
+        ),
         (
             "OMPI/IB Cluster II (x8)",
             416.0,
             108.0,
             101.0,
-            run_ib(&HsgConfig::paper(256, 2, P2pMode::On), ompi(IbConfig::cluster_ii())),
+            Box::new(|| {
+                run_ib(
+                    &HsgConfig::paper(256, 2, P2pMode::On),
+                    ompi(IbConfig::cluster_ii()),
+                )
+            }),
         ),
         (
             "OMPI/IB Cluster I (x4)",
             416.0,
             108.0,
             101.0,
-            run_ib(&HsgConfig::paper(256, 2, P2pMode::On), ompi(IbConfig::cluster_i())),
+            Box::new(|| {
+                run_ib(
+                    &HsgConfig::paper(256, 2, P2pMode::On),
+                    ompi(IbConfig::cluster_i()),
+                )
+            }),
         ),
     ];
-    for (label, p_ttot, p_bn, p_net, r) in rows {
+    let results = sweep::map(&rows, |(_, _, _, _, job)| job());
+    for ((label, p_ttot, p_bn, p_net, _), r) in rows.iter().zip(results) {
         let _ = writeln!(
             out,
             "{label:<26} | {p_ttot:>8.0} {:>8.0} | {p_bn:>10.0} {:>10.0} | {p_net:>8.0} {:>8.0}",

@@ -1,9 +1,9 @@
 //! Table IV — BFS traversed edges per second, strong scaling,
 //! |V| = 2^20, APEnet+ (P2P=ON) vs MPI/InfiniBand.
 
+use crate::{emit, sweep};
 use apenet_apps::bfs::run::{run_apenet, run_ib};
 use apenet_apps::bfs::BfsConfig;
-use crate::emit;
 use apenet_ib::IbConfig;
 use std::fmt::Write;
 
@@ -11,17 +11,21 @@ use std::fmt::Write;
 pub fn run() {
     let paper_ape = [6.7e7, 9.8e7, 1.3e8, 1.7e8];
     let paper_ib = [6.2e7, 7.8e7, 8.2e7, 2.0e8];
-    let mut out = String::from(
-        "# Table IV — BFS TEPS, strong scaling, |V| = 2^20, edgefactor 16\n",
-    );
+    let mut out =
+        String::from("# Table IV — BFS TEPS, strong scaling, |V| = 2^20, edgefactor 16\n");
     let _ = writeln!(
         out,
         "{:>3} | {:>10} {:>10} | {:>10} {:>10}",
         "NP", "APE(p)", "APE(m)", "IB(p)", "IB(m)"
     );
-    for (i, np) in [1usize, 2, 4, 8].into_iter().enumerate() {
-        let a = run_apenet(&BfsConfig::paper(np));
-        let b = run_ib(&BfsConfig::paper(np), IbConfig::cluster_ii());
+    let nps = [1usize, 2, 4, 8];
+    let results = sweep::map(&nps, |&np| {
+        (
+            run_apenet(&BfsConfig::paper(np)),
+            run_ib(&BfsConfig::paper(np), IbConfig::cluster_ii()),
+        )
+    });
+    for (i, (np, (a, b))) in nps.into_iter().zip(results).enumerate() {
         let _ = writeln!(
             out,
             "{np:>3} | {:>10.2e} {:>10.2e} | {:>10.2e} {:>10.2e}",

@@ -22,10 +22,17 @@
 //!
 //! Every binary prints the paper's reference values alongside the
 //! simulation's, so the comparison the prompt calls "paper-vs-measured"
-//! is in the output itself. Criterion benches (`cargo bench`) cover the
-//! hot paths of the simulator.
+//! is in the output itself.
+//!
+//! The sweeps inside each figure fan out across threads via [`sweep`]
+//! (`APENET_SWEEP_THREADS` controls the width; output is byte-identical
+//! at any width). The in-tree [`microbench`] harness
+//! (`cargo run -p apenet-bench --release --bin microbench`) covers the
+//! hot paths of the simulator and replaces the former Criterion benches.
 
 pub mod figs;
+pub mod microbench;
+pub mod sweep;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -78,7 +85,11 @@ pub fn emit(name: &str, body: &str) {
 
 /// Format a `paper vs measured` table row.
 pub fn cmp_row(label: &str, paper: f64, measured: f64, unit: &str) -> String {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{label:<38} {paper:>10.1} {measured:>10.1} {unit:<6} (x{ratio:.2})")
 }
 

@@ -1,0 +1,327 @@
+//! In-tree microbenchmark harness (no Criterion, no crates.io).
+//!
+//! Each benchmark is a closure run `warmup` times untimed, then `iters`
+//! times with per-iteration wall-clock sampling; the report carries the
+//! median and minimum sample plus — for benches that drive a [`Sim`] —
+//! the simulator event throughput derived from the process-global event
+//! counter. Results go to stdout and, as hand-rolled JSON, to
+//! `BENCH_microbench.json`.
+//!
+//! Run with `cargo run -p apenet-bench --release --bin microbench`.
+//! `APENET_BENCH_ITERS` overrides the sample count.
+//!
+//! [`Sim`]: apenet_sim::engine::Sim
+
+use apenet_sim::engine;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's summary statistics.
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u32,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    /// Simulator events retired per wall-clock second, when the bench
+    /// stepped a `Sim` at all.
+    pub events_per_sec: Option<f64>,
+}
+
+/// Collects [`BenchResult`]s and renders the JSON report.
+pub struct Harness {
+    pub warmup: u32,
+    pub iters: u32,
+    pub results: Vec<BenchResult>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Build a harness from `APENET_BENCH_ITERS` (default 15 samples,
+    /// 3 warmup rounds).
+    pub fn from_env() -> Self {
+        let iters = std::env::var("APENET_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(15);
+        Harness {
+            warmup: 3,
+            iters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, recording median/min and — if the closure stepped any
+    /// simulator — events per second over the timed window.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        let ev0 = engine::global_events();
+        let wall = Instant::now();
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        let total_s = wall.elapsed().as_secs_f64();
+        let events = engine::global_events() - ev0;
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let events_per_sec = (events > 0 && total_s > 0.0).then(|| events as f64 / total_s);
+        match events_per_sec {
+            Some(eps) => println!(
+                "{name:<28} median {:>12.0} ns  min {:>12.0} ns  {eps:>12.0} events/s",
+                median, min
+            ),
+            None => println!(
+                "{name:<28} median {:>12.0} ns  min {:>12.0} ns",
+                median, min
+            ),
+        }
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters: self.iters,
+            median_ns: median,
+            min_ns: min,
+            events_per_sec,
+        });
+    }
+
+    /// The recorded result for `name`, if that bench has run.
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+
+    /// Render the whole run as JSON (hand-rolled: the workspace has no
+    /// serde and the schema is four fields deep).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"warmup\": {},", self.warmup);
+        let _ = writeln!(s, "  \"iters\": {},", self.iters);
+        s.push_str("  \"benches\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let eps = match r.events_per_sec {
+                Some(v) => format!("{v:.1}"),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"events_per_sec\": {}}}",
+                r.name, r.median_ns, r.min_ns, eps
+            );
+            s.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The benchmark suite: the hot paths the former Criterion benches
+/// covered, plus a direct zero-copy vs memcpy fragmentation comparison.
+pub fn run_all(h: &mut Harness) {
+    engine_benches(h);
+    fabric_benches(h);
+    frag_benches(h);
+    app_benches(h);
+}
+
+fn engine_benches(h: &mut Harness) {
+    use apenet_sim::engine::{Actor, Ctx, Sim};
+    use apenet_sim::rng::Xoshiro256ss;
+    use apenet_sim::{Bandwidth, ByteFifo, SimDuration, SimTime};
+
+    struct Relay {
+        peer: usize,
+    }
+    impl Actor<u64> for Relay {
+        fn on_event(&mut self, ev: u64, ctx: &mut Ctx<'_, u64>) {
+            if ev > 0 {
+                ctx.send(self.peer, SimDuration::from_ns(10), ev - 1);
+            }
+        }
+    }
+    h.bench("engine_dispatch_100k", || {
+        let mut sim: Sim<u64> = Sim::new();
+        let a = sim.add_actor(Box::new(Relay { peer: 1 }));
+        let b = sim.add_actor(Box::new(Relay { peer: a }));
+        sim.send(b, SimTime::ZERO, 100_000u64);
+        sim.run();
+        sim.events_processed()
+    });
+    h.bench("bandwidth_time_for_x64k", || {
+        let bw = Bandwidth::from_mb_per_sec(1536);
+        let mut acc = 0u64;
+        for n in 0..65_536u64 {
+            acc = acc.wrapping_add(bw.time_for(4096 + (n & 1023)).as_ps());
+        }
+        acc
+    });
+    h.bench("fifo_push_pop_64_x1k", || {
+        let mut fifo: ByteFifo<u32> = ByteFifo::with_default_watermark(1 << 20);
+        let mut acc = 0u64;
+        for _ in 0..1024 {
+            for i in 0..64u32 {
+                fifo.push(4096, i).unwrap();
+            }
+            while let Some((bytes, _)) = fifo.pop() {
+                acc += bytes;
+            }
+        }
+        acc
+    });
+    h.bench("xoshiro_next_u64_x1m", || {
+        let mut rng = Xoshiro256ss::seed_from(7);
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
+    });
+}
+
+fn fabric_benches(h: &mut Harness) {
+    use apenet_cluster::harness::{two_node_bandwidth, BufSide, TwoNodeParams};
+    use apenet_cluster::presets::cluster_i_default;
+    use apenet_core::coord::TorusDims;
+    use apenet_core::nios::{BufEntry, BufKind, BufList, GpuV2p, PageDesc};
+    use apenet_pcie::fabric::plx_platform;
+    use apenet_pcie::tlp::TlpKind;
+    use apenet_sim::SimTime;
+
+    h.bench("pcie_stream_64k_over_plx", || {
+        let (mut fabric, gpu, nic, _) = plx_platform();
+        fabric
+            .send_stream(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, 64 * 1024, 256)
+            .arrive
+    });
+    h.bench("gpu_v2p_walk_x1k", || {
+        let mut pt = GpuV2p::new();
+        for p in 0..1024u64 {
+            pt.insert(
+                p * 65536,
+                PageDesc {
+                    phys: p * 65536,
+                    token: 1,
+                },
+            );
+        }
+        let mut hits = 0u64;
+        for p in 0..1024u64 {
+            if pt.walk(p * 65536).0.is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    h.bench("buflist_scan_64_entries", || {
+        let mut bl = BufList::new();
+        for i in 0..64u64 {
+            bl.register(BufEntry {
+                vaddr: i << 20,
+                len: 1 << 20,
+                kind: BufKind::Host,
+                pid: 1,
+            });
+        }
+        let mut cost = 0u64;
+        for i in 0..64u64 {
+            cost += bl.lookup(i << 20, 64).1.as_ps();
+        }
+        cost
+    });
+    h.bench("torus_route_4x2_all_pairs", || {
+        let dims = TorusDims::new(4, 2, 1);
+        let mut hops = 0u32;
+        for a in 0..8 {
+            for z in 0..8 {
+                let (mut at, dst) = (dims.coord_of(a), dims.coord_of(z));
+                while let Some(hop) = dims.next_hop(at, dst) {
+                    at = dims.neighbor(at, hop);
+                    hops += 1;
+                }
+            }
+        }
+        hops
+    });
+    h.bench("two_node_gg_64k_x4", || {
+        two_node_bandwidth(
+            cluster_i_default(),
+            TwoNodeParams {
+                src: BufSide::Gpu,
+                dst: BufSide::Gpu,
+                size: 64 * 1024,
+                count: 4,
+                staged: false,
+            },
+        )
+        .bandwidth
+    });
+}
+
+/// Fragment a 4 MB message the fabric's way (refcounted slice views)
+/// and the old way (one heap copy per fragment); the ratio is the
+/// zero-copy payoff in isolation.
+fn frag_benches(h: &mut Harness) {
+    use apenet_core::packet::fragments;
+    use apenet_sim::bytes::PayloadSlice;
+
+    let msg: Vec<u8> = (0..4 << 20).map(|i| (i % 251) as u8).collect();
+    let whole = PayloadSlice::from_vec(msg.clone());
+    h.bench("frag_4mb_zero_copy", || {
+        let mut total = 0u64;
+        for (off, len) in fragments(whole.len() as u64) {
+            let frag = whole.narrow(off as usize, len as usize);
+            // black_box defeats dead-fragment elimination so both
+            // variants pay for a materialized, observable fragment.
+            total = total.wrapping_add(black_box(&frag)[0] as u64 + frag.len() as u64);
+        }
+        total
+    });
+    h.bench("frag_4mb_memcpy", || {
+        let mut total = 0u64;
+        for (off, len) in fragments(msg.len() as u64) {
+            let frag: Vec<u8> = msg[off as usize..off as usize + len as usize].to_vec();
+            total = total.wrapping_add(black_box(&frag)[0] as u64 + frag.len() as u64);
+        }
+        total
+    });
+    if let (Some(zc), Some(cp)) = (h.result("frag_4mb_zero_copy"), h.result("frag_4mb_memcpy")) {
+        println!(
+            "frag_4mb: zero-copy is x{:.1} faster than per-fragment memcpy (median)",
+            cp.median_ns / zc.median_ns.max(1.0)
+        );
+    }
+}
+
+fn app_benches(h: &mut Harness) {
+    use apenet_apps::bfs::csr::Csr;
+    use apenet_apps::bfs::{rmat, seq};
+    use apenet_apps::hsg::lattice::Slab;
+
+    let l = 32;
+    h.bench("hsg_overrelax_sweep_32cubed", move || {
+        let mut lat = Slab::full(l, 1);
+        lat.wrap_ghosts();
+        lat.update_color(0, 1, l);
+        lat.wrap_ghosts();
+        lat.update_color(1, 1, l);
+        lat.wrap_ghosts();
+        lat.owned_energy()
+    });
+    let edges = rmat::generate(14, 16, 3);
+    let graph = Csr::build(1 << 14, &edges);
+    h.bench("bfs_seq_scale14", move || seq::bfs(&graph, 1).level[100]);
+}

@@ -1,0 +1,31 @@
+//! The parallel sweep must be invisible in the output: running a figure
+//! with one worker or many must produce byte-identical `results/*.txt`.
+//! Covers a bandwidth sweep (fig06) and an application table (table2).
+
+use apenet_bench::{figs, sweep};
+
+fn run_pass(dir: &std::path::Path, threads: usize) {
+    std::fs::create_dir_all(dir).expect("results dir");
+    std::env::set_var("APENET_RESULTS", dir);
+    sweep::set_threads(threads);
+    figs::fig06::run();
+    figs::table2::run();
+    sweep::set_threads(0);
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let tmp = std::env::temp_dir().join(format!("apenet-det-{}", std::process::id()));
+    let serial = tmp.join("serial");
+    let parallel = tmp.join("parallel");
+    run_pass(&serial, 1);
+    run_pass(&parallel, 4);
+    std::env::remove_var("APENET_RESULTS");
+    for name in ["fig06.txt", "table2.txt"] {
+        let a = std::fs::read(serial.join(name)).expect("serial output");
+        let b = std::fs::read(parallel.join(name)).expect("parallel output");
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{name} differs between 1-thread and 4-thread sweeps");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -65,7 +65,9 @@ fn alloc_buf(node: &NodeCtx, side: BufSide, len: u64) -> u64 {
 }
 
 fn fill_buf(node: &NodeCtx, side: BufSide, addr: u64, len: u64, seed: u8) {
-    let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect();
+    let data: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+        .collect();
     match side {
         BufSide::Host => node.hostmem.borrow_mut().write(addr, &data).unwrap(),
         BufSide::Gpu => node.cuda[0].borrow_mut().mem.write(addr, &data).unwrap(),
@@ -87,10 +89,21 @@ struct StreamSender {
 }
 
 impl StreamSender {
-    fn send_one(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>, mut clock: SimDuration) -> SimDuration {
+    fn send_one(
+        &mut self,
+        node: &mut NodeCtx,
+        api: &mut HostApi<'_, '_>,
+        mut clock: SimDuration,
+    ) -> SimDuration {
         let out = node
             .ep
-            .put(self.src_addr, self.size, self.peer, self.dst_vaddr, self.src.hint())
+            .put(
+                self.src_addr,
+                self.size,
+                self.peer,
+                self.dst_vaddr,
+                self.src.hint(),
+            )
             .expect("put");
         clock += out.host_cost;
         self.records.borrow_mut().submits.push(api.now + clock);
@@ -102,7 +115,10 @@ impl StreamSender {
 
 impl HostProgram for StreamSender {
     fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
-        let reg = node.ep.register(self.src_addr, self.size).expect("register src");
+        let reg = node
+            .ep
+            .register(self.src_addr, self.size)
+            .expect("register src");
         let mut clock = reg;
         let burst = self.window.min(self.count);
         for _ in 0..burst {
@@ -201,7 +217,9 @@ impl StagedSender {
 
 impl HostProgram for StagedSender {
     fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
-        node.ep.register(self.bounce, self.size).expect("register bounce");
+        node.ep
+            .register(self.bounce, self.size)
+            .expect("register bounce");
         self.send_one(node, api);
     }
 
@@ -331,7 +349,13 @@ impl HostProgram for ProbeSetupSender {
 
 /// Single-node loop-back test (Table I loop-back rows, Fig. 5): the
 /// message goes through the full TX *and* RX datapaths of one card.
-pub fn loopback_bandwidth(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size: u64, count: u32) -> BwResult {
+pub fn loopback_bandwidth(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    count: u32,
+) -> BwResult {
     let dims = TorusDims::new(1, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
     let prog = LoopbackProgram {
@@ -584,7 +608,14 @@ impl HostProgram for TwoNodeSetupReceiver {
 }
 
 /// Ping-pong latency test: returns the half round-trip time.
-pub fn pingpong_half_rtt(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size: u64, iters: u32, staged: bool) -> SimDuration {
+pub fn pingpong_half_rtt(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    iters: u32,
+    staged: bool,
+) -> SimDuration {
     let dims = TorusDims::new(2, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
     let peer_dst = first_alloc_addr(&node_cfg, dst, size, staged);
@@ -619,7 +650,10 @@ pub fn pingpong_half_rtt(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size:
     let r = records.borrow();
     // completions[0] is the timer start (after warm-up); the last is the
     // final pong. Each iteration is one full round trip.
-    assert!(r.completions.len() >= 2, "pingpong produced no measurements");
+    assert!(
+        r.completions.len() >= 2,
+        "pingpong produced no measurements"
+    );
     let span = r.completions[r.completions.len() - 1]
         .0
         .since(r.completions[0].0);
@@ -692,7 +726,13 @@ impl HostProgram for PingPongProgram {
             (alloc_buf(node, self.dst, self.size), None)
         };
         let src_addr = alloc_buf(node, self.src, self.size);
-        fill_buf(node, self.src, src_addr, self.size, if self.initiator { 1 } else { 2 });
+        fill_buf(
+            node,
+            self.src,
+            src_addr,
+            self.size,
+            if self.initiator { 1 } else { 2 },
+        );
         let bounce_tx = if self.staged && self.src == BufSide::Gpu {
             Some(alloc_buf(node, BufSide::Host, self.size))
         } else {
@@ -708,7 +748,9 @@ impl HostProgram for PingPongProgram {
     fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
         if let HostIn::Delivered { dst_vaddr, len, .. } = ev {
             // Staged reception must land in the GPU before replying.
-            let usable = if let (true, Some((_, _, _, Some(gpu_dst)))) = (self.staged && self.dst == BufSide::Gpu, self.addrs) {
+            let usable = if let (true, Some((_, _, _, Some(gpu_dst)))) =
+                (self.staged && self.dst == BufSide::Gpu, self.addrs)
+            {
                 let mut dev = node.cuda[0].borrow_mut();
                 let mut hm = node.hostmem.borrow_mut();
                 staged_recv_finish(&mut dev, &mut hm, api.now, dst_vaddr, gpu_dst, len)
@@ -795,7 +837,13 @@ impl HostProgram for BidirProgram {
 
 /// Two-node bi-directional bandwidth: both nodes stream simultaneously;
 /// returns the *aggregate* (sum of both directions) steady bandwidth.
-pub fn two_node_bidir_bandwidth(node_cfg: NodeConfig, src: BufSide, dst: BufSide, size: u64, count: u32) -> BwResult {
+pub fn two_node_bidir_bandwidth(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    count: u32,
+) -> BwResult {
     let dims = TorusDims::new(2, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
     let dst_vaddr = first_alloc_addr(&node_cfg, dst, size, false);

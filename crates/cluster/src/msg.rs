@@ -85,8 +85,20 @@ impl Actor<Msg> for CardActor {
                         .expect("torus neighbour wired for used direction");
                     ctx.send(to, delay, Msg::Card(CardIn::RxPacket(packet)));
                 }
-                CardOut::Delivered { msg, dst_vaddr, len } => {
-                    ctx.send(self.host, delay, Msg::Host(HostIn::Delivered { msg, dst_vaddr, len }));
+                CardOut::Delivered {
+                    msg,
+                    dst_vaddr,
+                    len,
+                } => {
+                    ctx.send(
+                        self.host,
+                        delay,
+                        Msg::Host(HostIn::Delivered {
+                            msg,
+                            dst_vaddr,
+                            len,
+                        }),
+                    );
                 }
                 CardOut::TxComplete { msg } => {
                     ctx.send(self.host, delay, Msg::Host(HostIn::TxDone { msg }));
@@ -135,7 +147,8 @@ impl HostApi<'_, '_> {
     /// Submit a TX descriptor to the local card after `delay` (usually the
     /// host cost of the `put()` that produced it).
     pub fn submit(&mut self, delay: SimDuration, desc: TxDesc) {
-        self.ctx.send(self.card, delay, Msg::Card(CardIn::TxSubmit(desc)));
+        self.ctx
+            .send(self.card, delay, Msg::Card(CardIn::TxSubmit(desc)));
     }
 
     /// Schedule a wake-up for this host program.
@@ -173,7 +186,11 @@ pub struct HostActor {
 impl HostActor {
     /// Wrap a node context and program; `card` is the local card actor.
     pub fn new(node: NodeCtx, program: Box<dyn HostProgram>, card: ActorId) -> Self {
-        HostActor { node, program, card }
+        HostActor {
+            node,
+            program,
+            card,
+        }
     }
 }
 

@@ -73,10 +73,19 @@ pub struct BuiltNode {
 pub fn build_node(rank: u32, coord: Coord, dims: TorusDims, cfg: &NodeConfig) -> BuiltNode {
     let mut fabric = Fabric::new();
     let root = fabric.add_root(0);
-    let hostmem_dev = fabric.add_endpoint(root, "hostmem", LinkSpec::GEN2_X16, SimDuration::from_ns(50));
+    let hostmem_dev = fabric.add_endpoint(
+        root,
+        "hostmem",
+        LinkSpec::GEN2_X16,
+        SimDuration::from_ns(50),
+    );
     let nic_dev = fabric.add_endpoint(root, "apenet", LinkSpec::GEN2_X8, SimDuration::from_ns(50));
 
-    let hostmem = Rc::new(RefCell::new(Memory::new(HOST_BASE, cfg.hostmem_bytes, HOST_PAGE_SIZE)));
+    let hostmem = Rc::new(RefCell::new(Memory::new(
+        HOST_BASE,
+        cfg.hostmem_bytes,
+        HOST_PAGE_SIZE,
+    )));
     let mut uva = Uva::new();
     uva.set_host(&hostmem.borrow());
 
@@ -86,7 +95,10 @@ pub fn build_node(rank: u32, coord: Coord, dims: TorusDims, cfg: &NodeConfig) ->
         let dev = fabric.add_endpoint(root, "gpu", LinkSpec::GEN2_X16, SimDuration::from_ns(50));
         let cuda = Rc::new(RefCell::new(CudaDevice::new(GpuId(i as u8), *arch)));
         uva.add_gpu(GpuId(i as u8), &cuda.borrow().mem);
-        gpus.push(GpuHandle { pcie_dev: dev, cuda: cuda.clone() });
+        gpus.push(GpuHandle {
+            pcie_dev: dev,
+            cuda: cuda.clone(),
+        });
         cuda_handles.push(cuda);
     }
 
@@ -142,9 +154,6 @@ mod tests {
         let n = build_node(3, Coord::new(1, 0, 0), TorusDims::new(4, 2, 1), &cfg);
         assert_eq!(n.cuda.len(), 2);
         assert_eq!(n.ep.rank(), 3);
-        assert_ne!(
-            n.cuda[0].borrow().mem.base(),
-            n.cuda[1].borrow().mem.base()
-        );
+        assert_ne!(n.cuda[0].borrow().mem.base(), n.cuda[1].borrow().mem.base());
     }
 }

@@ -17,7 +17,10 @@ fn mbs(r: apenet_cluster::harness::BwResult) -> f64 {
 fn table1_host_memory_read_2_4_gbs() {
     let r = flush_read_bandwidth(cluster_i_default(), BufSide::Host, 1 << 20, 16);
     let got = mbs(r);
-    assert!((2200.0..2500.0).contains(&got), "host read {got} MB/s (paper: 2400)");
+    assert!(
+        (2200.0..2500.0).contains(&got),
+        "host read {got} MB/s (paper: 2400)"
+    );
 }
 
 #[test]
@@ -25,7 +28,10 @@ fn table1_fermi_p2p_read_1_5_gbs() {
     let cfg = plx_node(GpuArch::Fermi2050, GpuTxVersion::V3, 128 * 1024);
     let r = flush_read_bandwidth(cfg, BufSide::Gpu, 1 << 20, 16);
     let got = mbs(r);
-    assert!((1400.0..1560.0).contains(&got), "Fermi P2P read {got} MB/s (paper: 1500)");
+    assert!(
+        (1400.0..1560.0).contains(&got),
+        "Fermi P2P read {got} MB/s (paper: 1500)"
+    );
 }
 
 #[test]
@@ -33,73 +39,145 @@ fn table1_v1_read_600_mbs() {
     let cfg = plx_node(GpuArch::Fermi2050, GpuTxVersion::V1, 4096);
     let r = flush_read_bandwidth(cfg, BufSide::Gpu, 1 << 20, 16);
     let got = mbs(r);
-    assert!((520.0..680.0).contains(&got), "v1 read {got} MB/s (paper: ~600)");
+    assert!(
+        (520.0..680.0).contains(&got),
+        "v1 read {got} MB/s (paper: ~600)"
+    );
 }
 
 #[test]
 fn table1_loopback_hh_1_2_gbs() {
-    let r = loopback_bandwidth(cluster_i_default(), BufSide::Host, BufSide::Host, 1 << 20, 16);
+    let r = loopback_bandwidth(
+        cluster_i_default(),
+        BufSide::Host,
+        BufSide::Host,
+        1 << 20,
+        16,
+    );
     let got = mbs(r);
-    assert!((1080.0..1320.0).contains(&got), "H-H loopback {got} MB/s (paper: 1200)");
+    assert!(
+        (1080.0..1320.0).contains(&got),
+        "H-H loopback {got} MB/s (paper: 1200)"
+    );
 }
 
 #[test]
 fn table1_loopback_gg_1_1_gbs() {
     let r = loopback_bandwidth(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, 1 << 20, 16);
     let got = mbs(r);
-    assert!((980.0..1200.0).contains(&got), "G-G loopback {got} MB/s (paper: 1100)");
+    assert!(
+        (980.0..1200.0).contains(&got),
+        "G-G loopback {got} MB/s (paper: 1100)"
+    );
 }
 
 #[test]
 fn fig6_two_node_hh_plateau_1_2_gbs() {
     let r = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Host, dst: BufSide::Host, size: 1 << 20, count: 16, staged: false },
+        TwoNodeParams {
+            src: BufSide::Host,
+            dst: BufSide::Host,
+            size: 1 << 20,
+            count: 16,
+            staged: false,
+        },
     );
     let got = mbs(r);
-    assert!((1080.0..1320.0).contains(&got), "two-node H-H {got} MB/s (paper: 1200)");
+    assert!(
+        (1080.0..1320.0).contains(&got),
+        "two-node H-H {got} MB/s (paper: 1200)"
+    );
 }
 
 #[test]
 fn fig6_two_node_gg_plateau_1_0_gbs() {
     let r = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 1 << 20, count: 16, staged: false },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 1 << 20,
+            count: 16,
+            staged: false,
+        },
     );
     let got = mbs(r);
-    assert!((950.0..1190.0).contains(&got), "two-node G-G {got} MB/s (paper: ~1000-1100)");
+    assert!(
+        (950.0..1190.0).contains(&got),
+        "two-node G-G {got} MB/s (paper: ~1000-1100)"
+    );
 }
 
 #[test]
 fn fig8_hh_latency_6_3_us() {
-    let lat = pingpong_half_rtt(cluster_i_default(), BufSide::Host, BufSide::Host, 32, 20, false);
+    let lat = pingpong_half_rtt(
+        cluster_i_default(),
+        BufSide::Host,
+        BufSide::Host,
+        32,
+        20,
+        false,
+    );
     let us = lat.as_us_f64();
     assert!((5.6..7.0).contains(&us), "H-H latency {us} us (paper: 6.3)");
 }
 
 #[test]
 fn fig9_gg_latency_8_2_us() {
-    let lat = pingpong_half_rtt(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, 32, 20, false);
+    let lat = pingpong_half_rtt(
+        cluster_i_default(),
+        BufSide::Gpu,
+        BufSide::Gpu,
+        32,
+        20,
+        false,
+    );
     let us = lat.as_us_f64();
-    assert!((7.4..9.3).contains(&us), "G-G P2P latency {us} us (paper: 8.2)");
+    assert!(
+        (7.4..9.3).contains(&us),
+        "G-G P2P latency {us} us (paper: 8.2)"
+    );
 }
 
 #[test]
 fn fig9_gg_staged_latency_16_8_us() {
-    let lat = pingpong_half_rtt(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, 32, 20, true);
+    let lat = pingpong_half_rtt(
+        cluster_i_default(),
+        BufSide::Gpu,
+        BufSide::Gpu,
+        32,
+        20,
+        true,
+    );
     let us = lat.as_us_f64();
-    assert!((15.0..19.0).contains(&us), "G-G staged latency {us} us (paper: 16.8)");
+    assert!(
+        (15.0..19.0).contains(&us),
+        "G-G staged latency {us} us (paper: 16.8)"
+    );
 }
 
 #[test]
 fn fig7_crossover_staging_wins_large() {
     let p2p = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 4 << 20, count: 8, staged: false },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 4 << 20,
+            count: 8,
+            staged: false,
+        },
     );
     let staged = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 4 << 20, count: 8, staged: true },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 4 << 20,
+            count: 8,
+            staged: true,
+        },
     );
     // "after that limit [32 KB], staging seems a better approach"
     assert!(
@@ -110,11 +188,23 @@ fn fig7_crossover_staging_wins_large() {
     );
     let p2p_small = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 8 << 10, count: 24, staged: false },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 8 << 10,
+            count: 24,
+            staged: false,
+        },
     );
     let staged_small = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 8 << 10, count: 24, staged: true },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 8 << 10,
+            count: 24,
+            staged: true,
+        },
     );
     // "GPU peer-to-peer technique is definitively effective for small sizes"
     assert!(
@@ -148,8 +238,14 @@ fn fig4_window_scaling_v2() {
         8,
     ));
     let gain = bw8 / bw4;
-    assert!((1.1..1.45).contains(&gain), "4K→8K gain {gain} (paper: ~1.2)");
-    assert!((1350.0..1540.0).contains(&bw32), "v2 w=32K {bw32} MB/s (paper: ~1.5 GB/s)");
+    assert!(
+        (1.1..1.45).contains(&gain),
+        "4K→8K gain {gain} (paper: ~1.2)"
+    );
+    assert!(
+        (1350.0..1540.0).contains(&bw32),
+        "v2 w=32K {bw32} MB/s (paper: ~1.5 GB/s)"
+    );
 }
 
 #[test]
@@ -160,7 +256,10 @@ fn table1_kepler_reads() {
         1 << 20,
         8,
     ));
-    assert!((1480.0..1640.0).contains(&p2p), "K20 P2P read {p2p} MB/s (paper: 1600)");
+    assert!(
+        (1480.0..1640.0).contains(&p2p),
+        "K20 P2P read {p2p} MB/s (paper: 1600)"
+    );
 }
 
 #[test]
@@ -171,7 +270,13 @@ fn data_integrity_two_node_gg() {
     // re-run a transfer and rely on the harness's internal fills.)
     let r = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 64 << 10, count: 4, staged: false },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 64 << 10,
+            count: 4,
+            staged: false,
+        },
     );
     assert!(mbs(r) > 0.0);
 }
@@ -187,7 +292,10 @@ fn table1_bar1_reads_through_the_card() {
         8,
     );
     let f = mbs(fermi);
-    assert!((135.0..160.0).contains(&f), "Fermi BAR1 {f} MB/s (paper: 150)");
+    assert!(
+        (135.0..160.0).contains(&f),
+        "Fermi BAR1 {f} MB/s (paper: 150)"
+    );
     let k20 = flush_read_bandwidth(
         plx_node_bar1(GpuArch::KeplerK20, 128 * 1024),
         BufSide::Gpu,
@@ -195,7 +303,10 @@ fn table1_bar1_reads_through_the_card() {
         8,
     );
     let k = mbs(k20);
-    assert!((1480.0..1650.0).contains(&k), "Kepler BAR1 {k} MB/s (paper: 1600)");
+    assert!(
+        (1480.0..1650.0).contains(&k),
+        "Kepler BAR1 {k} MB/s (paper: 1600)"
+    );
 }
 
 #[test]
@@ -206,10 +317,23 @@ fn bidirectional_bandwidth_is_nios_limited() {
     // exceeds the uni-directional rate but each direction pays.
     let uni = two_node_bandwidth(
         cluster_i_default(),
-        TwoNodeParams { src: BufSide::Gpu, dst: BufSide::Gpu, size: 1 << 20, count: 12, staged: false },
+        TwoNodeParams {
+            src: BufSide::Gpu,
+            dst: BufSide::Gpu,
+            size: 1 << 20,
+            count: 12,
+            staged: false,
+        },
     );
-    let bidir = two_node_bidir_bandwidth(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, 1 << 20, 12);
+    let bidir =
+        two_node_bidir_bandwidth(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, 1 << 20, 12);
     let (u, b) = (mbs(uni), mbs(bidir));
-    assert!(b > u * 1.4, "aggregate bidir {b} should well exceed uni {u}");
-    assert!(b < u * 2.0, "but each direction pays the shared-Nios tax ({b} vs {u})");
+    assert!(
+        b > u * 1.4,
+        "aggregate bidir {b} should well exceed uni {u}"
+    );
+    assert!(
+        b < u * 2.0,
+        "but each direction pays the shared-Nios tax ({b} vs {u})"
+    );
 }

@@ -19,6 +19,7 @@ use apenet_gpu::GPU_PAGE_SIZE;
 use apenet_pcie::fabric::{DeviceId, Fabric};
 use apenet_pcie::server::ReadServer;
 use apenet_pcie::tlp::TlpKind;
+use apenet_sim::bytes::PayloadSlice;
 use apenet_sim::{Bandwidth, ByteFifo, Device, Outbox, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -62,22 +63,41 @@ impl Firmware {
         for page in (vaddr..vaddr + len.max(1)).step_by(apenet_gpu::HOST_PAGE_SIZE as usize) {
             self.host_v2p.insert(page, page); // identity "physical" model
         }
-        self.buf_list.register(BufEntry { vaddr, len, kind: BufKind::Host, pid })
+        self.buf_list.register(BufEntry {
+            vaddr,
+            len,
+            kind: BufKind::Host,
+            pid,
+        })
     }
 
     /// Register a GPU buffer: fills the per-GPU V2P table with one page
     /// descriptor per 64 KB page, as the P2P mapping flow does.
-    pub fn register_gpu(&mut self, gpu: apenet_gpu::GpuId, vaddr: u64, len: u64, pid: u32) -> usize {
+    pub fn register_gpu(
+        &mut self,
+        gpu: apenet_gpu::GpuId,
+        vaddr: u64,
+        len: u64,
+        pid: u32,
+    ) -> usize {
         let table = &mut self.gpu_v2p[gpu.0 as usize];
         let first = vaddr / GPU_PAGE_SIZE;
         let last = (vaddr + len.max(1) - 1) / GPU_PAGE_SIZE;
         for p in first..=last {
             table.insert(
                 p * GPU_PAGE_SIZE,
-                PageDesc { phys: p * GPU_PAGE_SIZE, token: 0xA9E0_0000 | gpu.0 as u64 },
+                PageDesc {
+                    phys: p * GPU_PAGE_SIZE,
+                    token: 0xA9E0_0000 | gpu.0 as u64,
+                },
             );
         }
-        self.buf_list.register(BufEntry { vaddr, len, kind: BufKind::Gpu(gpu), pid })
+        self.buf_list.register(BufEntry {
+            vaddr,
+            len,
+            kind: BufKind::Gpu(gpu),
+            pid,
+        })
     }
 }
 
@@ -277,14 +297,20 @@ impl Card {
     /// engine setup (the Fig. 3 initial delay).
     fn activate_next_gpu_job(&mut self, now: SimTime, out: &mut Outbox<CardOut>) {
         debug_assert!(self.gpu_job_active.is_none());
-        let Some(job_id) = self.gpu_job_queue.pop_front() else { return };
+        let Some(job_id) = self.gpu_job_queue.pop_front() else {
+            return;
+        };
         self.gpu_job_active = Some(job_id);
         let (_s, e) = self.nios.run(now, self.cfg.tx_gpu_setup());
         let ready = e + self.cfg.tx_gpu_hw_setup();
         // Re-enter through a self event at `ready` (len 0 = kick).
         out.push(
             ready.since(now),
-            CardOut::ToSelf(CardIn::FetchArrived { job: job_id, offset: 0, len: 0 }),
+            CardOut::ToSelf(CardIn::FetchArrived {
+                job: job_id,
+                offset: 0,
+                len: 0,
+            }),
         );
     }
 
@@ -302,17 +328,22 @@ impl Card {
         loop {
             let budget = self.issue_budget();
             let almost_full = self.tx_fifo.almost_full();
-            let Some(job) = self.tx_jobs.get_mut(&job_id) else { return };
-            let Some(n) = job.plan.next_issue(budget, almost_full) else { return };
+            let Some(job) = self.tx_jobs.get_mut(&job_id) else {
+                return;
+            };
+            let Some(n) = job.plan.next_issue(budget, almost_full) else {
+                return;
+            };
             let offset = job.plan.requested;
             let src_kind = job.desc.src_kind;
             // v1 pays Nios software time per request *before* issuing it.
-            let req_ready = if matches!(src_kind, BufKind::Gpu(_)) && self.cfg.gpu_tx == GpuTxVersion::V1 {
-                let cost = self.cfg.tx_v1_per_chunk;
-                self.nios.run(now, cost).1
-            } else {
-                now
-            };
+            let req_ready =
+                if matches!(src_kind, BufKind::Gpu(_)) && self.cfg.gpu_tx == GpuTxVersion::V1 {
+                    let cost = self.cfg.tx_v1_per_chunk;
+                    self.nios.run(now, cost).1
+                } else {
+                    now
+                };
             let job = self.tx_jobs.get_mut(&job_id).expect("job exists");
             let arrive = match src_kind {
                 BufKind::Gpu(_) => {
@@ -337,7 +368,13 @@ impl Card {
                     }
                     let mut fabric = self.shared.fabric.borrow_mut();
                     // Read request toward the GPU...
-                    let req = fabric.send_tlp(req_ready, self.shared.nic_dev, gpu.pcie_dev, TlpKind::MemRead, 0);
+                    let req = fabric.send_tlp(
+                        req_ready,
+                        self.shared.nic_dev,
+                        gpu.pcie_dev,
+                        TlpKind::MemRead,
+                        0,
+                    );
                     // ...served by the P2P engine or the BAR1 aperture...
                     let cpl = match self.cfg.gpu_read {
                         GpuReadMethod::P2p => gpu.cuda.borrow_mut().p2p.serve_read(req.arrive, n),
@@ -349,14 +386,34 @@ impl Card {
                             .expect("BAR1 range mapped above"),
                     };
                     // ...completion data streams back over the fabric.
-                    let st = fabric.send_stream(cpl.first, gpu.pcie_dev, self.shared.nic_dev, TlpKind::Completion, n, apenet_pcie::MAX_PAYLOAD);
+                    let st = fabric.send_stream(
+                        cpl.first,
+                        gpu.pcie_dev,
+                        self.shared.nic_dev,
+                        TlpKind::Completion,
+                        n,
+                        apenet_pcie::MAX_PAYLOAD,
+                    );
                     st.arrive.max(cpl.last)
                 }
                 BufKind::Host => {
                     let mut fabric = self.shared.fabric.borrow_mut();
-                    let req = fabric.send_tlp(req_ready, self.shared.nic_dev, self.shared.hostmem_dev, TlpKind::MemRead, 0);
+                    let req = fabric.send_tlp(
+                        req_ready,
+                        self.shared.nic_dev,
+                        self.shared.hostmem_dev,
+                        TlpKind::MemRead,
+                        0,
+                    );
                     let cpl = self.shared.host_read.borrow_mut().serve(req.arrive, n);
-                    let st = fabric.send_stream(cpl.first, self.shared.hostmem_dev, self.shared.nic_dev, TlpKind::Completion, n, apenet_pcie::MAX_PAYLOAD);
+                    let st = fabric.send_stream(
+                        cpl.first,
+                        self.shared.hostmem_dev,
+                        self.shared.nic_dev,
+                        TlpKind::Completion,
+                        n,
+                        apenet_pcie::MAX_PAYLOAD,
+                    );
                     st.arrive.max(cpl.last)
                 }
             };
@@ -364,31 +421,43 @@ impl Card {
             self.outstanding_total += n;
             out.push(
                 arrive.since(now),
-                CardOut::ToSelf(CardIn::FetchArrived { job: job_id, offset, len: n as u32 }),
+                CardOut::ToSelf(CardIn::FetchArrived {
+                    job: job_id,
+                    offset,
+                    len: n as u32,
+                }),
             );
         }
     }
 
-    fn read_source(&self, job: &TxJob, offset: u64, len: u32) -> Vec<u8> {
+    /// Borrow `len` bytes of the job's source buffer as a refcounted
+    /// slice. Packet fragments are ≤ 4 KB at page-aligned offsets within a
+    /// page-aligned allocation, so this shares the backing page and copies
+    /// nothing on the clean TX path.
+    fn read_source(&self, job: &TxJob, offset: u64, len: u32) -> PayloadSlice {
         let addr = job.desc.src_addr + offset;
         match job.desc.src_kind {
             BufKind::Host => self
                 .shared
                 .hostmem
                 .borrow_mut()
-                .read_vec(addr, len as u64)
+                .read_payload(addr, len as u64)
                 .expect("TX source range was validated at registration"),
             BufKind::Gpu(id) => self.shared.gpus[id.0 as usize]
                 .cuda
                 .borrow_mut()
                 .mem
-                .read_vec(addr, len as u64)
+                .read_payload(addr, len as u64)
                 .expect("TX source range was validated at registration"),
         }
     }
 
     fn make_packet(&self, job: &TxJob, offset: u64, len: u32) -> ApePacket {
-        let payload = if len == 0 { Vec::new() } else { self.read_source(job, offset, len) };
+        let payload = if len == 0 {
+            PayloadSlice::empty()
+        } else {
+            self.read_source(job, offset, len)
+        };
         ApePacket::new(
             job.desc.dst,
             self.coord,
@@ -402,8 +471,17 @@ impl Card {
     /// Stage the packets of an arrived fetch through the per-packet Nios
     /// bookkeeping (GPU sources only; the kernel driver already did this
     /// work for host sources).
-    fn stage_packets(&mut self, job_id: u32, offset: u64, len: u32, now: SimTime, out: &mut Outbox<CardOut>) {
-        let Some(job) = self.tx_jobs.get(&job_id) else { return };
+    fn stage_packets(
+        &mut self,
+        job_id: u32,
+        offset: u64,
+        len: u32,
+        now: SimTime,
+        out: &mut Outbox<CardOut>,
+    ) {
+        let Some(job) = self.tx_jobs.get(&job_id) else {
+            return;
+        };
         let gpu_src = matches!(job.desc.src_kind, BufKind::Gpu(_));
         let per_packet = self.cfg.tx_per_packet();
         let mut pieces: Vec<(u64, u32)> = Vec::new();
@@ -430,7 +508,10 @@ impl Card {
             let packet = self.make_packet(job, off, n);
             out.push(
                 ready.since(now),
-                CardOut::ToSelf(CardIn::PushReady { job: job_id, packet }),
+                CardOut::ToSelf(CardIn::PushReady {
+                    job: job_id,
+                    packet,
+                }),
             );
         }
     }
@@ -444,7 +525,9 @@ impl Card {
             if self.tx_since_fault >= n && !packet.payload.is_empty() {
                 self.tx_since_fault = 0;
                 let idx = packet.payload.len() / 2;
-                packet.payload[idx] ^= 0x10;
+                // Copy-on-write: only this fragment is duplicated; the
+                // source buffer and sibling fragments stay shared.
+                packet.payload.make_mut()[idx] ^= 0x10;
             }
         }
         packet
@@ -454,7 +537,9 @@ impl Card {
         if self.draining {
             return;
         }
-        let Some((_bytes, packet)) = self.tx_fifo.pop() else { return };
+        let Some((_bytes, packet)) = self.tx_fifo.pop() else {
+            return;
+        };
         self.draining = true;
         match self.cfg.tx_sink {
             TxSinkMode::Flush => {
@@ -480,13 +565,22 @@ impl Card {
                     let slot = link.borrow_mut().reserve(now, packet.wire_bytes());
                     let packet = self.maybe_corrupt(packet);
                     out.push(slot.arrive.since(now), CardOut::TorusSend { dir, packet });
-                    out.push(slot.depart_end.since(now), CardOut::ToSelf(CardIn::DrainNext));
+                    out.push(
+                        slot.depart_end.since(now),
+                        CardOut::ToSelf(CardIn::DrainNext),
+                    );
                 }
             }
         }
     }
 
-    fn try_push(&mut self, job_id: u32, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
+    fn try_push(
+        &mut self,
+        job_id: u32,
+        packet: ApePacket,
+        now: SimTime,
+        out: &mut Outbox<CardOut>,
+    ) {
         let len = packet.len();
         match self.tx_fifo.push(packet.wire_bytes(), packet) {
             Ok(()) => {
@@ -544,7 +638,14 @@ impl Card {
         let done = match entry.kind {
             BufKind::Host => {
                 let mut fabric = self.shared.fabric.borrow_mut();
-                let st = fabric.send_stream(nios_done, self.shared.nic_dev, self.shared.hostmem_dev, TlpKind::MemWrite, len, apenet_pcie::MAX_PAYLOAD);
+                let st = fabric.send_stream(
+                    nios_done,
+                    self.shared.nic_dev,
+                    self.shared.hostmem_dev,
+                    TlpKind::MemWrite,
+                    len,
+                    apenet_pcie::MAX_PAYLOAD,
+                );
                 if len > 0 {
                     self.shared
                         .hostmem
@@ -557,7 +658,14 @@ impl Card {
             BufKind::Gpu(id) => {
                 let gpu = self.shared.gpus[id.0 as usize].clone();
                 let mut fabric = self.shared.fabric.borrow_mut();
-                let st = fabric.send_stream(nios_done, self.shared.nic_dev, gpu.pcie_dev, TlpKind::MemWrite, len, apenet_pcie::MAX_PAYLOAD);
+                let st = fabric.send_stream(
+                    nios_done,
+                    self.shared.nic_dev,
+                    gpu.pcie_dev,
+                    TlpKind::MemWrite,
+                    len,
+                    apenet_pcie::MAX_PAYLOAD,
+                );
                 let mut cuda = gpu.cuda.borrow_mut();
                 let wend = cuda.p2p.absorb_write(nios_done, packet.dst_vaddr, len);
                 if len > 0 {
@@ -627,7 +735,14 @@ impl Device for Card {
                 };
                 let plan = FetchPlan::new(version, window, desc.len);
                 let len = desc.len;
-                self.tx_jobs.insert(job_id, TxJob { desc, plan, pushed: 0 });
+                self.tx_jobs.insert(
+                    job_id,
+                    TxJob {
+                        desc,
+                        plan,
+                        pushed: 0,
+                    },
+                );
                 if gpu_src {
                     // GPU jobs serialize through the GPU_P2P_TX engine.
                     self.gpu_job_queue.push_back(job_id);
@@ -638,7 +753,11 @@ impl Device for Card {
                     // Header-only message: stage one empty packet.
                     out.push(
                         SimDuration::ZERO,
-                        CardOut::ToSelf(CardIn::FetchArrived { job: job_id, offset: 0, len: 0 }),
+                        CardOut::ToSelf(CardIn::FetchArrived {
+                            job: job_id,
+                            offset: 0,
+                            len: 0,
+                        }),
                     );
                 } else {
                     self.issue_fetches(job_id, now, out);

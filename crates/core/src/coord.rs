@@ -142,7 +142,11 @@ impl TorusDims {
     pub fn neighbor(self, c: Coord, d: LinkDir) -> Coord {
         let step = |v: u8, n: u8, up: bool| -> u8 {
             if up {
-                if v + 1 == n { 0 } else { v + 1 }
+                if v + 1 == n {
+                    0
+                } else {
+                    v + 1
+                }
             } else if v == 0 {
                 n - 1
             } else {
@@ -150,12 +154,30 @@ impl TorusDims {
             }
         };
         match d {
-            LinkDir::Xp => Coord { x: step(c.x, self.x, true), ..c },
-            LinkDir::Xm => Coord { x: step(c.x, self.x, false), ..c },
-            LinkDir::Yp => Coord { y: step(c.y, self.y, true), ..c },
-            LinkDir::Ym => Coord { y: step(c.y, self.y, false), ..c },
-            LinkDir::Zp => Coord { z: step(c.z, self.z, true), ..c },
-            LinkDir::Zm => Coord { z: step(c.z, self.z, false), ..c },
+            LinkDir::Xp => Coord {
+                x: step(c.x, self.x, true),
+                ..c
+            },
+            LinkDir::Xm => Coord {
+                x: step(c.x, self.x, false),
+                ..c
+            },
+            LinkDir::Yp => Coord {
+                y: step(c.y, self.y, true),
+                ..c
+            },
+            LinkDir::Ym => Coord {
+                y: step(c.y, self.y, false),
+                ..c
+            },
+            LinkDir::Zp => Coord {
+                z: step(c.z, self.z, true),
+                ..c
+            },
+            LinkDir::Zm => Coord {
+                z: step(c.z, self.z, false),
+                ..c
+            },
         }
     }
 
@@ -224,7 +246,10 @@ mod tests {
         let d = TorusDims::new(4, 2, 1);
         let c = Coord::new(3, 0, 0);
         assert_eq!(d.neighbor(c, LinkDir::Xp), Coord::new(0, 0, 0));
-        assert_eq!(d.neighbor(Coord::new(0, 0, 0), LinkDir::Xm), Coord::new(3, 0, 0));
+        assert_eq!(
+            d.neighbor(Coord::new(0, 0, 0), LinkDir::Xm),
+            Coord::new(3, 0, 0)
+        );
         assert_eq!(d.neighbor(c, LinkDir::Yp), Coord::new(3, 1, 0));
         assert_eq!(d.neighbor(c, LinkDir::Ym), Coord::new(3, 1, 0), "ring of 2");
         // Z ring of 1: neighbour is self.

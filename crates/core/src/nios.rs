@@ -266,7 +266,10 @@ impl HostV2p {
 
     /// Translate; returns the physical page address and the walk cost.
     pub fn walk(&self, vaddr: u64) -> (Option<u64>, SimDuration) {
-        (self.pages.get(&(vaddr / HOST_PAGE_SIZE)).copied(), self.walk_cost)
+        (
+            self.pages.get(&(vaddr / HOST_PAGE_SIZE)).copied(),
+            self.walk_cost,
+        )
     }
 }
 
@@ -278,7 +281,10 @@ mod tests {
     fn nios_serializes_tasks() {
         let mut n = Nios::new();
         let (s1, e1) = n.run(SimTime::ZERO, SimDuration::from_us(3));
-        let (s2, e2) = n.run(SimTime::ZERO + SimDuration::from_us(1), SimDuration::from_us(2));
+        let (s2, e2) = n.run(
+            SimTime::ZERO + SimDuration::from_us(1),
+            SimDuration::from_us(2),
+        );
         assert_eq!(s1, SimTime::ZERO);
         assert_eq!(s2, e1, "second task queues");
         assert_eq!(e2.since(SimTime::ZERO), SimDuration::from_us(5));
@@ -293,7 +299,11 @@ mod tests {
         let late = SimTime::ZERO + SimDuration::from_us(10);
         let (s, _) = n.run(late, SimDuration::from_us(1));
         assert_eq!(s, late);
-        assert_eq!(n.busy_total(), SimDuration::from_us(2), "idle time not counted");
+        assert_eq!(
+            n.busy_total(),
+            SimDuration::from_us(2),
+            "idle time not counted"
+        );
     }
 
     #[test]
@@ -317,7 +327,12 @@ mod tests {
         assert_eq!(cm, SimDuration::from_ns(1300 + 200 * 10), "full scan");
         // single-buffer case matches the ~1.5 us calibration
         let mut one = BufList::new();
-        one.register(BufEntry { vaddr: 0, len: 100, kind: BufKind::Host, pid: 0 });
+        one.register(BufEntry {
+            vaddr: 0,
+            len: 100,
+            kind: BufKind::Host,
+            pid: 0,
+        });
         let (_, c) = one.lookup(0, 1);
         assert_eq!(c, SimDuration::from_ns(1500));
     }
@@ -325,7 +340,12 @@ mod tests {
     #[test]
     fn buflist_bounds_checked() {
         let mut bl = BufList::new();
-        bl.register(BufEntry { vaddr: 0x1000, len: 0x1000, kind: BufKind::Host, pid: 0 });
+        bl.register(BufEntry {
+            vaddr: 0x1000,
+            len: 0x1000,
+            kind: BufKind::Host,
+            pid: 0,
+        });
         // A range leaking past the end of the registration must not match.
         let (hit, _) = bl.lookup(0x1800, 0x1000);
         assert!(hit.is_none());
@@ -339,7 +359,13 @@ mod tests {
         let mut pt = GpuV2p::new();
         let base = 0x7000_0000_0000u64;
         for p in 0..64u64 {
-            pt.insert(base + p * GPU_PAGE_SIZE, PageDesc { phys: p * GPU_PAGE_SIZE, token: 0xA9E0 });
+            pt.insert(
+                base + p * GPU_PAGE_SIZE,
+                PageDesc {
+                    phys: p * GPU_PAGE_SIZE,
+                    token: 0xA9E0,
+                },
+            );
         }
         assert_eq!(pt.mapped_pages(), 64);
         let (d, cost) = pt.walk(base + 5 * GPU_PAGE_SIZE + 1234);
@@ -365,8 +391,20 @@ mod tests {
         let mut pt = GpuV2p::new();
         let a = 0u64;
         let b = GPU_PAGE_SIZE << (9 * 3); // differs at the top level
-        pt.insert(a, PageDesc { phys: 111, token: 0 });
-        pt.insert(b, PageDesc { phys: 222, token: 0 });
+        pt.insert(
+            a,
+            PageDesc {
+                phys: 111,
+                token: 0,
+            },
+        );
+        pt.insert(
+            b,
+            PageDesc {
+                phys: 222,
+                token: 0,
+            },
+        );
         assert_eq!(pt.walk(a).0.unwrap().phys, 111);
         assert_eq!(pt.walk(b).0.unwrap().phys, 222);
     }

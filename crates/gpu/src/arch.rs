@@ -198,6 +198,8 @@ mod tests {
             GpuArch::Fermi2075.spec().p2p_head_latency,
             SimDuration::from_ns(1100)
         );
-        assert!(GpuArch::KeplerK20.spec().p2p_head_latency < GpuArch::Fermi2075.spec().p2p_head_latency);
+        assert!(
+            GpuArch::KeplerK20.spec().p2p_head_latency < GpuArch::Fermi2075.spec().p2p_head_latency
+        );
     }
 }

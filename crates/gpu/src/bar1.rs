@@ -88,7 +88,12 @@ impl Bar1 {
     }
 
     /// Serve a PCIe read of `bytes` at device address `addr`.
-    pub fn serve_read(&mut self, arrive: SimTime, addr: u64, bytes: u64) -> Result<Completion, Bar1Error> {
+    pub fn serve_read(
+        &mut self,
+        arrive: SimTime,
+        addr: u64,
+        bytes: u64,
+    ) -> Result<Completion, Bar1Error> {
         if !self.is_mapped(addr, bytes) {
             return Err(Bar1Error::NotMapped);
         }

@@ -158,8 +158,15 @@ impl CudaDevice {
 
     /// Synchronous `cudaMemcpy` device-to-host: copies real bytes and
     /// blocks the host for the transfer plus the measured ~10 µs overhead.
-    pub fn memcpy_d2h_sync(&mut self, now: SimTime, host: &mut Memory, dst_host: u64, src_dev: u64, len: u64) -> Result<MemcpyDone, MemError> {
-        let data = self.mem.read_vec(src_dev, len)?;
+    pub fn memcpy_d2h_sync(
+        &mut self,
+        now: SimTime,
+        host: &mut Memory,
+        dst_host: u64,
+        src_dev: u64,
+        len: u64,
+    ) -> Result<MemcpyDone, MemError> {
+        let data = self.mem.read_payload(src_dev, len)?;
         host.write(dst_host, &data)?;
         let t: DmaTransfer = self.dma_d2h.transfer(now, len);
         let host_free = t.end + SYNC_D2H_OVERHEAD;
@@ -170,8 +177,15 @@ impl CudaDevice {
     }
 
     /// Synchronous `cudaMemcpy` host-to-device.
-    pub fn memcpy_h2d_sync(&mut self, now: SimTime, host: &mut Memory, dst_dev: u64, src_host: u64, len: u64) -> Result<MemcpyDone, MemError> {
-        let data = host.read_vec(src_host, len)?;
+    pub fn memcpy_h2d_sync(
+        &mut self,
+        now: SimTime,
+        host: &mut Memory,
+        dst_dev: u64,
+        src_host: u64,
+        len: u64,
+    ) -> Result<MemcpyDone, MemError> {
+        let data = host.read_payload(src_host, len)?;
         self.mem.write(dst_dev, &data)?;
         let t = self.dma_h2d.transfer(now, len);
         let host_free = t.end + SYNC_H2D_OVERHEAD;
@@ -183,8 +197,16 @@ impl CudaDevice {
 
     /// `cudaMemcpyAsync` device-to-host on `stream`: the host returns
     /// immediately; the copy is ordered after prior work on the stream.
-    pub fn memcpy_d2h_async(&mut self, now: SimTime, stream: StreamId, host: &mut Memory, dst_host: u64, src_dev: u64, len: u64) -> Result<MemcpyDone, MemError> {
-        let data = self.mem.read_vec(src_dev, len)?;
+    pub fn memcpy_d2h_async(
+        &mut self,
+        now: SimTime,
+        stream: StreamId,
+        host: &mut Memory,
+        dst_host: u64,
+        src_dev: u64,
+        len: u64,
+    ) -> Result<MemcpyDone, MemError> {
+        let data = self.mem.read_payload(src_dev, len)?;
         host.write(dst_host, &data)?;
         let ready = now.max(self.streams[stream.0]);
         let t = self.dma_d2h.transfer(ready, len);
@@ -196,8 +218,16 @@ impl CudaDevice {
     }
 
     /// `cudaMemcpyAsync` host-to-device on `stream`.
-    pub fn memcpy_h2d_async(&mut self, now: SimTime, stream: StreamId, host: &mut Memory, dst_dev: u64, src_host: u64, len: u64) -> Result<MemcpyDone, MemError> {
-        let data = host.read_vec(src_host, len)?;
+    pub fn memcpy_h2d_async(
+        &mut self,
+        now: SimTime,
+        stream: StreamId,
+        host: &mut Memory,
+        dst_dev: u64,
+        src_host: u64,
+        len: u64,
+    ) -> Result<MemcpyDone, MemError> {
+        let data = host.read_payload(src_host, len)?;
         self.mem.write(dst_dev, &data)?;
         let ready = now.max(self.streams[stream.0]);
         let t = self.dma_h2d.transfer(ready, len);
@@ -212,8 +242,15 @@ impl CudaDevice {
     /// using the P2P protocol — the single-box technique §I credits with
     /// "a 50% performance gain on capability problems". The source's DMA
     /// engine pushes; the destination's P2P write path absorbs.
-    pub fn memcpy_peer(now: SimTime, dst: &mut CudaDevice, dst_addr: u64, src: &mut CudaDevice, src_addr: u64, len: u64) -> Result<MemcpyDone, MemError> {
-        let data = src.mem.read_vec(src_addr, len)?;
+    pub fn memcpy_peer(
+        now: SimTime,
+        dst: &mut CudaDevice,
+        dst_addr: u64,
+        src: &mut CudaDevice,
+        src_addr: u64,
+        len: u64,
+    ) -> Result<MemcpyDone, MemError> {
+        let data = src.mem.read_payload(src_addr, len)?;
         dst.mem.write(dst_addr, &data)?;
         let push = src.dma_d2h.transfer(now, len);
         let absorbed = dst.p2p.absorb_write(push.start, dst_addr, len);
@@ -286,7 +323,9 @@ mod tests {
         let h = host.alloc(8192).unwrap();
         let payload: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 256) as u8).collect();
         dev.mem.write(d, &payload).unwrap();
-        let done = dev.memcpy_d2h_sync(SimTime::ZERO, &mut host, h, d, 8192).unwrap();
+        let done = dev
+            .memcpy_d2h_sync(SimTime::ZERO, &mut host, h, d, 8192)
+            .unwrap();
         assert_eq!(host.read_vec(h, 8192).unwrap(), payload);
         // 8192 B at 5.5 GB/s ≈ 1.49 us, + 10 us sync overhead.
         let us = done.host_free.as_us_f64();
@@ -334,7 +373,9 @@ mod tests {
         let mut host = Memory::new(crate::uva::HOST_BASE, 1 << 20, crate::HOST_PAGE_SIZE);
         let h = host.alloc(16384).unwrap();
         let c_src = c.malloc(16384).unwrap();
-        let d2h = c.memcpy_d2h_sync(SimTime::ZERO, &mut host, h, c_src, 16384).unwrap();
+        let d2h = c
+            .memcpy_d2h_sync(SimTime::ZERO, &mut host, h, c_src, 16384)
+            .unwrap();
         let staged_total = d2h.host_free.since(SimTime::ZERO) * 2;
         assert!(done.data_done.since(SimTime::ZERO) < staged_total);
     }
@@ -352,7 +393,11 @@ mod tests {
         let (mut dev, _) = setup();
         let d = dev.malloc(64).unwrap();
         dev.mem.write(d, &[9u8; 64]).unwrap();
-        dev.launch(SimTime::ZERO, CudaDevice::default_stream(), SimDuration::from_us(1));
+        dev.launch(
+            SimTime::ZERO,
+            CudaDevice::default_stream(),
+            SimDuration::from_us(1),
+        );
         dev.reset_timing();
         assert_eq!(dev.stream_tail(CudaDevice::default_stream()), SimTime::ZERO);
         assert_eq!(dev.mem.read_vec(d, 64).unwrap(), vec![9u8; 64]);

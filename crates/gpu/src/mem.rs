@@ -3,9 +3,16 @@
 //! Used for both host memory (4 KB pages) and GPU device memory (64 KB
 //! pages). Backing pages materialize lazily and zero-filled on first
 //! touch, so simulating a 6 GB Tesla costs nothing until data is written.
+//!
+//! Pages are `Arc`-backed so the packet datapath can borrow them
+//! zero-copy: [`Memory::read_payload`] hands out a [`PayloadSlice`] that
+//! shares the page, and writes copy-on-write any page still aliased by an
+//! in-flight payload.
 
+use apenet_sim::bytes::{self, PayloadSlice};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from allocation and access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +43,7 @@ pub struct Memory {
     base: u64,
     capacity: u64,
     page_size: u64,
-    pages: Vec<Option<Box<[u8]>>>,
+    pages: Vec<Option<Arc<[u8]>>>,
     /// Free ranges as offset → length, coalesced.
     free: BTreeMap<u64, u64>,
     /// Allocations as offset → length.
@@ -136,10 +143,26 @@ impl Memory {
         Ok(())
     }
 
-    fn page_of(&mut self, off: u64) -> &mut [u8] {
+    /// The (shared, lazily zero-filled) page covering offset `off`.
+    fn page_arc(&mut self, off: u64) -> &Arc<[u8]> {
         let idx = (off / self.page_size) as usize;
         let ps = self.page_size as usize;
-        self.pages[idx].get_or_insert_with(|| vec![0u8; ps].into_boxed_slice())
+        self.pages[idx].get_or_insert_with(|| vec![0u8; ps].into())
+    }
+
+    /// Mutable view of the page covering `off`; copy-on-write when the
+    /// page is still aliased by an in-flight [`PayloadSlice`].
+    fn page_of(&mut self, off: u64) -> &mut [u8] {
+        let ps = self.page_size as usize;
+        self.page_arc(off);
+        let idx = (off / self.page_size) as usize;
+        let arc = self.pages[idx].as_mut().expect("page materialized above");
+        if Arc::get_mut(arc).is_none() {
+            bytes::note_copy(ps as u64);
+            let copy: Arc<[u8]> = Arc::from(&arc[..]);
+            *arc = copy;
+        }
+        Arc::get_mut(arc).expect("sole owner after copy-on-write")
     }
 
     /// Write `data` at UVA `addr`.
@@ -185,6 +208,31 @@ impl Memory {
         let mut v = vec![0u8; len as usize];
         self.read(addr, &mut v)?;
         Ok(v)
+    }
+
+    /// Read `len` bytes as a refcounted [`PayloadSlice`].
+    ///
+    /// When the range lies within a single page — always true for the
+    /// card's ≤ 4 KB packet fragments, because allocations are
+    /// page-aligned — this shares the page and copies nothing. A range
+    /// crossing pages falls back to a gather copy (accounted via
+    /// [`bytes::note_copy`]).
+    pub fn read_payload(&mut self, addr: u64, len: u64) -> Result<PayloadSlice, MemError> {
+        if !self.contains(addr, len) {
+            return Err(MemError::OutOfRange);
+        }
+        if len == 0 {
+            return Ok(PayloadSlice::empty());
+        }
+        let off = addr - self.base;
+        let in_page = off % self.page_size;
+        if in_page + len <= self.page_size {
+            let page = self.page_arc(off).clone();
+            Ok(PayloadSlice::from_arc(page).narrow(in_page as usize, len as usize))
+        } else {
+            bytes::note_copy(len);
+            Ok(PayloadSlice::from_vec(self.read_vec(addr, len)?))
+        }
     }
 
     /// The page-aligned physical page addresses covering `addr..addr+len`
@@ -279,6 +327,38 @@ mod tests {
         assert_eq!(m.write(end - 4, &[0u8; 8]), Err(MemError::OutOfRange));
         let mut buf = [0u8; 8];
         assert_eq!(m.read(end, &mut buf), Err(MemError::OutOfRange));
+    }
+
+    #[test]
+    fn read_payload_single_page_is_zero_copy() {
+        let mut m = mem();
+        let a = m.alloc(128 * 1024).unwrap();
+        m.write(a, &vec![0xAB; 64 * 1024]).unwrap();
+        let before = bytes::copied_bytes();
+        let p = m.read_payload(a + 4096, 4096).unwrap();
+        assert_eq!(
+            bytes::copied_bytes(),
+            before,
+            "single-page read shares the page"
+        );
+        assert_eq!(p.len(), 4096);
+        assert!(p.iter().all(|&b| b == 0xAB));
+        // Crossing a page boundary gathers (and accounts the copy).
+        let q = m.read_payload(a + 64 * 1024 - 8, 16).unwrap();
+        assert_eq!(q.len(), 16);
+        assert!(bytes::copied_bytes() > before);
+    }
+
+    #[test]
+    fn write_to_shared_page_copies_on_write() {
+        let mut m = mem();
+        let a = m.alloc(64 * 1024).unwrap();
+        m.write(a, &[1, 2, 3, 4]).unwrap();
+        let p = m.read_payload(a, 4).unwrap();
+        // Writing while `p` aliases the page must not change what p sees.
+        m.write(a, &[9, 9, 9, 9]).unwrap();
+        assert_eq!(p.as_slice(), &[1, 2, 3, 4], "in-flight payload is stable");
+        assert_eq!(m.read_vec(a, 4).unwrap(), vec![9, 9, 9, 9]);
     }
 
     #[test]

@@ -120,7 +120,10 @@ mod tests {
         let t2 = e.absorb_write(t1, base + 4096, 4096);
         // Only the first write pays the window switch.
         let per_write = GpuArch::Fermi2050.spec().p2p_write_rate.time_for(4096);
-        assert_eq!(t1.since(SimTime::ZERO), SimDuration::from_ns(280) + per_write);
+        assert_eq!(
+            t1.since(SimTime::ZERO),
+            SimDuration::from_ns(280) + per_write
+        );
         assert_eq!(t2.since(t1), per_write);
     }
 

@@ -127,7 +127,9 @@ mod tests {
             MemKind::Gpu(GpuId(0))
         );
         assert_eq!(
-            uva.pointer_get_attribute(Uva::gpu_base(1) + 512).unwrap().kind,
+            uva.pointer_get_attribute(Uva::gpu_base(1) + 512)
+                .unwrap()
+                .kind,
             MemKind::Gpu(GpuId(1))
         );
         assert!(uva.pointer_get_attribute(0xDEAD).is_none());

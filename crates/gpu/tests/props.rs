@@ -3,38 +3,52 @@
 
 use apenet_gpu::mem::Memory;
 use apenet_gpu::{GPU_PAGE_SIZE, HOST_PAGE_SIZE};
-use proptest::prelude::*;
+use apenet_sim::check::{self, Gen};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
     Alloc(u64),
     FreeNth(usize),
-    Write { nth: usize, off: u64, len: u64, seed: u8 },
+    Write {
+        nth: usize,
+        off: u64,
+        len: u64,
+        seed: u8,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..300_000).prop_map(Op::Alloc),
-        (0usize..16).prop_map(Op::FreeNth),
-        ((0usize..16), 0u64..100_000, 1u64..50_000, any::<u8>())
-            .prop_map(|(nth, off, len, seed)| Op::Write { nth, off, len, seed }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.u32(0, 3) {
+        0 => Op::Alloc(g.u64(1, 300_000)),
+        1 => Op::FreeNth(g.usize(0, 16)),
+        _ => Op::Write {
+            nth: g.usize(0, 16),
+            off: g.u64(0, 100_000),
+            len: g.u64(1, 50_000),
+            seed: g.byte(),
+        },
+    }
 }
 
 fn pattern(len: u64, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(13) ^ seed).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13) ^ seed)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The allocator never double-allocates, never loses capacity, and
-    /// every write reads back exactly — across any interleaving of
-    /// allocs, frees and cross-page writes.
-    #[test]
-    fn memory_model_based(ops in prop::collection::vec(op_strategy(), 1..60), gpu_pages in prop::bool::ANY) {
-        let page = if gpu_pages { GPU_PAGE_SIZE } else { HOST_PAGE_SIZE };
+/// The allocator never double-allocates, never loses capacity, and
+/// every write reads back exactly — across any interleaving of
+/// allocs, frees and cross-page writes.
+#[test]
+fn memory_model_based() {
+    check::cases("memory_model_based", 64, |g| {
+        let ops = g.vec_of(1, 60, gen_op);
+        let page = if g.chance(0.5) {
+            GPU_PAGE_SIZE
+        } else {
+            HOST_PAGE_SIZE
+        };
         let mut mem = Memory::new(0x9000_0000, 8 << 20, page);
         // model: addr -> (len, last written (off, data))
         let mut live: Vec<(u64, u64)> = Vec::new();
@@ -43,13 +57,17 @@ proptest! {
             match op {
                 Op::Alloc(len) => {
                     if let Ok(addr) = mem.alloc(len) {
-                        prop_assert_eq!(addr % page, 0, "page-aligned");
+                        assert_eq!(addr % page, 0, "page-aligned");
                         // No overlap with any live allocation.
                         let rounded = len.next_multiple_of(page);
                         for &(a, l) in &live {
                             let lr = l.next_multiple_of(page);
-                            prop_assert!(addr + rounded <= a || a + lr <= addr,
-                                "overlap: new [{addr},{}) vs [{a},{})", addr + rounded, a + lr);
+                            assert!(
+                                addr + rounded <= a || a + lr <= addr,
+                                "overlap: new [{addr},{}) vs [{a},{})",
+                                addr + rounded,
+                                a + lr
+                            );
                         }
                         live.push((addr, len));
                     }
@@ -57,18 +75,27 @@ proptest! {
                 Op::FreeNth(n) => {
                     if !live.is_empty() {
                         let (addr, _) = live.remove(n % live.len());
-                        prop_assert!(mem.free(addr).is_ok());
+                        assert!(mem.free(addr).is_ok());
                         contents.remove(&addr);
                     }
                 }
-                Op::Write { nth, off, len, seed } => {
+                Op::Write {
+                    nth,
+                    off,
+                    len,
+                    seed,
+                } => {
                     if !live.is_empty() {
                         let (addr, alen) = live[nth % live.len()];
                         if off + len <= alen {
                             let data = pattern(len, seed);
                             mem.write(addr + off, &data).unwrap();
                             let back = mem.read_vec(addr + off, len).unwrap();
-                            prop_assert_eq!(back, data.clone());
+                            assert_eq!(back, data);
+                            // The refcounted read path agrees byte-for-byte
+                            // with the copying one.
+                            let payload = mem.read_payload(addr + off, len).unwrap();
+                            assert_eq!(payload.as_slice(), &data[..]);
                             contents.insert(addr, data); // last write per buffer
                         }
                     }
@@ -76,21 +103,27 @@ proptest! {
             }
         }
         let live_total: u64 = live.iter().map(|&(_, l)| l.next_multiple_of(page)).sum();
-        prop_assert_eq!(mem.allocated(), live_total);
-    }
+        assert_eq!(mem.allocated(), live_total);
+    });
+}
 
-    /// Page spans cover exactly the pages a range touches.
-    #[test]
-    fn page_span_exact(off in 0u64..(1 << 20), len in 1u64..(1 << 18)) {
+/// Page spans cover exactly the pages a range touches.
+#[test]
+fn page_span_exact() {
+    check::check("page_span_exact", |g| {
+        let off = g.u64(0, 1 << 20);
+        let len = g.u64(1, 1 << 18);
+        if off + len > 4 << 20 {
+            return; // out of the memory's range: skip the case
+        }
         let mem = Memory::new(0, 4 << 20, GPU_PAGE_SIZE);
-        prop_assume!(off + len <= 4 << 20);
         let span = mem.page_span(off, len).unwrap();
         let first = off / GPU_PAGE_SIZE;
         let last = (off + len - 1) / GPU_PAGE_SIZE;
-        prop_assert_eq!(span.len() as u64, last - first + 1);
-        prop_assert_eq!(span[0], first * GPU_PAGE_SIZE);
+        assert_eq!(span.len() as u64, last - first + 1);
+        assert_eq!(span[0], first * GPU_PAGE_SIZE);
         for w in span.windows(2) {
-            prop_assert_eq!(w[1] - w[0], GPU_PAGE_SIZE);
+            assert_eq!(w[1] - w[0], GPU_PAGE_SIZE);
         }
-    }
+    });
 }

@@ -8,7 +8,7 @@
 //! BFS all-to-all at 8 nodes (Table IV) while the 4×2 torus saturates.
 
 use crate::config::IbConfig;
-use apenet_sim::{SimTime};
+use apenet_sim::SimTime;
 
 /// Timing of one fabric-level message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

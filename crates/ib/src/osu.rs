@@ -18,10 +18,7 @@ pub fn osu_bw_gg(mpi: &mut CudaAwareMpi, size: u64, count: u32) -> Bandwidth {
         last = s.complete;
     }
     let span = last.since(first.unwrap());
-    Bandwidth::measured(
-        (count as u64 - 1) * size,
-        span.max(SimDuration::from_ps(1)),
-    )
+    Bandwidth::measured((count as u64 - 1) * size, span.max(SimDuration::from_ps(1)))
 }
 
 /// The OSU latency test between GPU buffers: ping-pong, half round trip.

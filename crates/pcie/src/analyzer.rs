@@ -98,7 +98,13 @@ pub fn render_trace(records: &[TraceRecord], limit: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:>14}  {:<6} detail", "time", "TLP");
     for r in records.iter().take(limit) {
-        let _ = writeln!(out, "{:>14}  {:<6} {}", format!("{}", r.at), r.kind, r.detail);
+        let _ = writeln!(
+            out,
+            "{:>14}  {:<6} {}",
+            format!("{}", r.at),
+            r.kind,
+            r.detail
+        );
     }
     if records.len() > limit {
         let _ = writeln!(out, "... ({} more records)", records.len() - limit);

@@ -100,7 +100,13 @@ impl Fabric {
         DeviceId(self.nodes.len() - 1)
     }
 
-    fn attach(&mut self, parent: DeviceId, kind: NodeKind, spec: LinkSpec, lat: SimDuration) -> DeviceId {
+    fn attach(
+        &mut self,
+        parent: DeviceId,
+        kind: NodeKind,
+        spec: LinkSpec,
+        lat: SimDuration,
+    ) -> DeviceId {
         let link_id = self.links.len();
         self.links.push(Link::new(spec, lat));
         self.analyzers.push(None);
@@ -114,12 +120,29 @@ impl Fabric {
     }
 
     /// Add a switch under `parent` with the given uplink.
-    pub fn add_switch(&mut self, parent: DeviceId, spec: LinkSpec, link_latency: SimDuration, forward_latency: SimDuration) -> DeviceId {
-        self.attach(parent, NodeKind::Switch { forward_latency }, spec, link_latency)
+    pub fn add_switch(
+        &mut self,
+        parent: DeviceId,
+        spec: LinkSpec,
+        link_latency: SimDuration,
+        forward_latency: SimDuration,
+    ) -> DeviceId {
+        self.attach(
+            parent,
+            NodeKind::Switch { forward_latency },
+            spec,
+            link_latency,
+        )
     }
 
     /// Add a leaf endpoint (GPU, NIC, host-memory target) under `parent`.
-    pub fn add_endpoint(&mut self, parent: DeviceId, name: &'static str, spec: LinkSpec, link_latency: SimDuration) -> DeviceId {
+    pub fn add_endpoint(
+        &mut self,
+        parent: DeviceId,
+        name: &'static str,
+        spec: LinkSpec,
+        link_latency: SimDuration,
+    ) -> DeviceId {
         self.attach(parent, NodeKind::Endpoint { name }, spec, link_latency)
     }
 
@@ -231,7 +254,14 @@ impl Fabric {
 
     /// Send one TLP of `kind` with `payload` data bytes from endpoint `from`
     /// to endpoint `to`, reserving every traversed link store-and-forward.
-    pub fn send_tlp(&mut self, now: SimTime, from: DeviceId, to: DeviceId, kind: TlpKind, payload: u32) -> TlpArrival {
+    pub fn send_tlp(
+        &mut self,
+        now: SimTime,
+        from: DeviceId,
+        to: DeviceId,
+        kind: TlpKind,
+        payload: u32,
+    ) -> TlpArrival {
         let wire = kind.wire_bytes(payload);
         let path = self.node_path(from.0, to.0);
         assert!(path.len() >= 2, "from == to or disconnected");
@@ -277,7 +307,15 @@ impl Fabric {
 
     /// Send `len` bytes of data as a stream of `kind` TLPs with payloads of
     /// at most `chunk` bytes. Returns the arrival time of the final TLP.
-    pub fn send_stream(&mut self, now: SimTime, from: DeviceId, to: DeviceId, kind: TlpKind, len: u64, chunk: u32) -> TlpArrival {
+    pub fn send_stream(
+        &mut self,
+        now: SimTime,
+        from: DeviceId,
+        to: DeviceId,
+        kind: TlpKind,
+        len: u64,
+        chunk: u32,
+    ) -> TlpArrival {
         let mut first = None;
         let mut last = now;
         for payload in tlp::chunks(len, chunk) {
@@ -318,7 +356,12 @@ pub fn plx_platform() -> (Fabric, DeviceId, DeviceId, DeviceId) {
     );
     let gpu = f.add_endpoint(plx, "gpu0", LinkSpec::GEN2_X16, SimDuration::from_ns(100));
     let nic = f.add_endpoint(plx, "apenet", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
-    let hostmem = f.add_endpoint(root, "hostmem", LinkSpec::GEN2_X16, SimDuration::from_ns(100));
+    let hostmem = f.add_endpoint(
+        root,
+        "hostmem",
+        LinkSpec::GEN2_X16,
+        SimDuration::from_ns(100),
+    );
     (f, gpu, nic, hostmem)
 }
 

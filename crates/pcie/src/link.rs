@@ -42,12 +42,21 @@ pub struct LinkSpec {
 
 impl LinkSpec {
     /// Gen2 x8 — the APEnet+ and Cluster II ConnectX-2 slots.
-    pub const GEN2_X8: LinkSpec = LinkSpec { gen: PcieGen::Gen2, lanes: 8 };
+    pub const GEN2_X8: LinkSpec = LinkSpec {
+        gen: PcieGen::Gen2,
+        lanes: 8,
+    };
     /// Gen2 x4 — the Cluster I ConnectX-2 slot ("due to motherboard
     /// constraints", §V).
-    pub const GEN2_X4: LinkSpec = LinkSpec { gen: PcieGen::Gen2, lanes: 4 };
+    pub const GEN2_X4: LinkSpec = LinkSpec {
+        gen: PcieGen::Gen2,
+        lanes: 4,
+    };
     /// Gen2 x16 — GPU slots.
-    pub const GEN2_X16: LinkSpec = LinkSpec { gen: PcieGen::Gen2, lanes: 16 };
+    pub const GEN2_X16: LinkSpec = LinkSpec {
+        gen: PcieGen::Gen2,
+        lanes: 16,
+    };
 
     /// Raw symbol bandwidth per direction.
     pub fn raw_rate(self) -> Bandwidth {

@@ -83,10 +83,7 @@ mod tests {
     use super::*;
 
     fn fermi() -> ReadServer {
-        ReadServer::new(
-            SimDuration::from_ns(1800),
-            Bandwidth::from_mb_per_sec(1536),
-        )
+        ReadServer::new(SimDuration::from_ns(1800), Bandwidth::from_mb_per_sec(1536))
     }
 
     #[test]
@@ -150,6 +147,9 @@ mod tests {
         }
         let bw = Bandwidth::measured(reps * 4096, t.since(SimTime::ZERO));
         let mbs = bw.mb_per_sec_f64();
-        assert!((550.0..650.0).contains(&mbs), "v1-like bandwidth {mbs} MB/s");
+        assert!(
+            (550.0..650.0).contains(&mbs),
+            "v1-like bandwidth {mbs} MB/s"
+        );
     }
 }

@@ -4,69 +4,85 @@ use apenet_pcie::fabric::{plx_platform, Fabric};
 use apenet_pcie::link::LinkSpec;
 use apenet_pcie::server::ReadServer;
 use apenet_pcie::tlp::{chunks, wire_bytes_for, TlpKind};
+use apenet_sim::check;
 use apenet_sim::{Bandwidth, SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Chunking partitions the transfer exactly, with every piece within
-    /// the payload bound.
-    #[test]
-    fn chunks_partition(len in 0u64..(1 << 26), chunk in 1u32..4097) {
+/// Chunking partitions the transfer exactly, with every piece within
+/// the payload bound.
+#[test]
+fn chunks_partition() {
+    check::check("chunks_partition", |g| {
+        let len = g.u64(0, 1 << 26);
+        let chunk = g.u32(1, 4097);
         let pieces: Vec<u32> = chunks(len, chunk).collect();
-        prop_assert_eq!(pieces.iter().map(|&c| c as u64).sum::<u64>(), len);
-        prop_assert!(pieces.iter().all(|&c| c > 0 && c <= chunk));
-        prop_assert_eq!(pieces.len() as u64, len.div_ceil(chunk as u64));
-    }
+        assert_eq!(pieces.iter().map(|&c| c as u64).sum::<u64>(), len);
+        assert!(pieces.iter().all(|&c| c > 0 && c <= chunk));
+        assert_eq!(pieces.len() as u64, len.div_ceil(chunk as u64));
+    });
+}
 
-    /// Wire bytes always exceed payload bytes (headers cost something).
-    #[test]
-    fn wire_overhead_positive(len in 1u64..(1 << 22)) {
-        prop_assert!(wire_bytes_for(TlpKind::MemWrite, len, 256) > len);
-        prop_assert!(wire_bytes_for(TlpKind::Completion, len, 256) > len);
-    }
+/// Wire bytes always exceed payload bytes (headers cost something).
+#[test]
+fn wire_overhead_positive() {
+    check::check("wire_overhead_positive", |g| {
+        let len = g.u64(1, 1 << 22);
+        assert!(wire_bytes_for(TlpKind::MemWrite, len, 256) > len);
+        assert!(wire_bytes_for(TlpKind::Completion, len, 256) > len);
+    });
+}
 
-    /// Fabric arrivals are causal (after `now`) and a stream of N bytes
-    /// never beats the bottleneck link's serialization time.
-    #[test]
-    fn stream_respects_bottleneck(len in 1u64..(1 << 20), start_ns in 0u64..1_000_000) {
+/// Fabric arrivals are causal (after `now`) and a stream of N bytes
+/// never beats the bottleneck link's serialization time.
+#[test]
+fn stream_respects_bottleneck() {
+    check::check("stream_respects_bottleneck", |g| {
+        let len = g.u64(1, 1 << 20);
+        let start_ns = g.u64(0, 1_000_000);
         let (mut fabric, gpu, nic, _) = plx_platform();
         let now = SimTime::ZERO + SimDuration::from_ns(start_ns);
         let a = fabric.send_stream(now, gpu, nic, TlpKind::MemWrite, len, 256);
-        prop_assert!(a.arrive > now);
+        assert!(a.arrive > now);
         let wire = wire_bytes_for(TlpKind::MemWrite, len, 256);
         let serialize = LinkSpec::GEN2_X8.raw_rate().time_for(wire);
-        prop_assert!(a.arrive.since(now) >= serialize);
-    }
+        assert!(a.arrive.since(now) >= serialize);
+    });
+}
 
-    /// Sequential transfers on one link never overlap: total time for two
-    /// streams is at least the sum of their serializations.
-    #[test]
-    fn serialization_additive(a in 1u64..(1 << 18), b in 1u64..(1 << 18)) {
+/// Sequential transfers on one link never overlap: total time for two
+/// streams is at least the sum of their serializations.
+#[test]
+fn serialization_additive() {
+    check::check("serialization_additive", |g| {
+        let a = g.u64(1, 1 << 18);
+        let b = g.u64(1, 1 << 18);
         let (mut fabric, gpu, nic, _) = plx_platform();
         let r1 = fabric.send_stream(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, a, 256);
         let r2 = fabric.send_stream(SimTime::ZERO, gpu, nic, TlpKind::MemWrite, b, 256);
         let wire = wire_bytes_for(TlpKind::MemWrite, a + b, 256);
         let serialize = LinkSpec::GEN2_X8.raw_rate().time_for(wire);
-        prop_assert!(r2.arrive.since(SimTime::ZERO) >= serialize);
-        prop_assert!(r2.arrive >= r1.arrive);
-    }
+        assert!(r2.arrive.since(SimTime::ZERO) >= serialize);
+        assert!(r2.arrive >= r1.arrive);
+    });
+}
 
-    /// The read completer conserves bytes and never reorders: completions
-    /// of back-to-back requests are non-overlapping and ordered.
-    #[test]
-    fn read_server_ordered(sizes in prop::collection::vec(1u64..100_000, 1..40)) {
+/// The read completer conserves bytes and never reorders: completions
+/// of back-to-back requests are non-overlapping and ordered.
+#[test]
+fn read_server_ordered() {
+    check::check("read_server_ordered", |g| {
+        let sizes = g.vec_of(1, 40, |g| g.u64(1, 100_000));
         let mut s = ReadServer::new(SimDuration::from_ns(1100), Bandwidth::from_mb_per_sec(1536));
         let mut prev_last = SimTime::ZERO;
         let mut total = 0u64;
         for (i, &n) in sizes.iter().enumerate() {
             let c = s.serve(SimTime::ZERO + SimDuration::from_ns(i as u64), n);
-            prop_assert!(c.first >= prev_last, "completions must not overlap");
-            prop_assert!(c.last >= c.first);
+            assert!(c.first >= prev_last, "completions must not overlap");
+            assert!(c.last >= c.first);
             prev_last = c.last;
             total += n;
         }
-        prop_assert_eq!(s.served(), total);
-    }
+        assert_eq!(s.served(), total);
+    });
 }
 
 #[test]
@@ -74,7 +90,12 @@ fn fabric_paths_are_symmetric_in_time() {
     // A -> B and B -> A of equal TLPs take equal time on an idle fabric.
     let mut f = Fabric::new();
     let root = f.add_root(0);
-    let sw = f.add_switch(root, LinkSpec::GEN2_X16, SimDuration::from_ns(100), SimDuration::from_ns(150));
+    let sw = f.add_switch(
+        root,
+        LinkSpec::GEN2_X16,
+        SimDuration::from_ns(100),
+        SimDuration::from_ns(150),
+    );
     let a = f.add_endpoint(sw, "a", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
     let b = f.add_endpoint(sw, "b", LinkSpec::GEN2_X8, SimDuration::from_ns(100));
     let t1 = f.send_tlp(SimTime::ZERO, a, b, TlpKind::MemWrite, 256);

@@ -141,12 +141,7 @@ impl RdmaEndpoint {
     /// inbound PUTs targeting it are dropped as unmatched) and from the
     /// mapping cache.
     pub fn deregister(&mut self, addr: u64) -> bool {
-        let removed = self
-            .shared
-            .firmware
-            .borrow_mut()
-            .buf_list
-            .unregister(addr);
+        let removed = self.shared.firmware.borrow_mut().buf_list.unregister(addr);
         self.reg_cache.remove(&addr);
         removed
     }
@@ -154,7 +149,14 @@ impl RdmaEndpoint {
     /// Enqueue a PUT of `len` bytes from local `src_addr` to `dst_vaddr`
     /// on node `dst`. The source must be registered (the call maps it on
     /// the fly when not, charging the mapping cost).
-    pub fn put(&mut self, src_addr: u64, len: u64, dst: Coord, dst_vaddr: u64, hint: SrcHint) -> Result<PutOutcome, RdmaError> {
+    pub fn put(
+        &mut self,
+        src_addr: u64,
+        len: u64,
+        dst: Coord,
+        dst_vaddr: u64,
+        hint: SrcHint,
+    ) -> Result<PutOutcome, RdmaError> {
         let mut host_cost = self.cfg.put_overhead;
         let kind = match hint {
             SrcHint::Host => BufKind::Host,
@@ -177,7 +179,10 @@ impl RdmaEndpoint {
         if !self.is_registered(src_addr, len) {
             host_cost += self.register(src_addr, len)?;
         }
-        let msg = MsgId { src_rank: self.rank, seq: self.seq };
+        let msg = MsgId {
+            src_rank: self.rank,
+            seq: self.seq,
+        };
         self.seq += 1;
         Ok(PutOutcome {
             desc: TxDesc {
@@ -211,7 +216,11 @@ mod tests {
     fn endpoint() -> (RdmaEndpoint, Rc<RefCell<CudaDevice>>, Rc<RefCell<Memory>>) {
         let (fabric, gpu_dev, nic_dev, hostmem_dev) = plx_platform();
         let cuda = Rc::new(RefCell::new(CudaDevice::new(GpuId(0), GpuArch::Fermi2050)));
-        let hostmem = Rc::new(RefCell::new(Memory::new(HOST_BASE, 64 << 20, HOST_PAGE_SIZE)));
+        let hostmem = Rc::new(RefCell::new(Memory::new(
+            HOST_BASE,
+            64 << 20,
+            HOST_PAGE_SIZE,
+        )));
         let mut uva = Uva::new();
         uva.set_host(&hostmem.borrow());
         uva.add_gpu(GpuId(0), &cuda.borrow().mem);
@@ -224,7 +233,10 @@ mod tests {
                 apenet_sim::SimDuration::from_ns(600),
                 Bandwidth::from_mb_per_sec(2400),
             ))),
-            gpus: vec![apenet_core::card::GpuHandle { pcie_dev: gpu_dev, cuda: cuda.clone() }],
+            gpus: vec![apenet_core::card::GpuHandle {
+                pcie_dev: gpu_dev,
+                cuda: cuda.clone(),
+            }],
             firmware: Rc::new(RefCell::new(Firmware::new(1))),
         };
         let _ = CardConfig::default();
@@ -272,8 +284,12 @@ mod tests {
         let (mut ep, cuda, _) = endpoint();
         let g = cuda.borrow_mut().malloc(4096).unwrap();
         ep.register(g, 4096).unwrap();
-        let auto = ep.put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Auto).unwrap();
-        let flagged = ep.put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu).unwrap();
+        let auto = ep
+            .put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Auto)
+            .unwrap();
+        let flagged = ep
+            .put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+            .unwrap();
         assert!(auto.host_cost > flagged.host_cost);
         assert_eq!(auto.desc.src_kind, BufKind::Gpu(GpuId(0)));
     }
@@ -284,11 +300,13 @@ mod tests {
         let h = hostmem.borrow_mut().alloc(4096).unwrap();
         ep.register(h, 4096).unwrap();
         assert_eq!(
-            ep.put(h, 64, Coord::new(1, 0, 0), 0, SrcHint::Gpu).unwrap_err(),
+            ep.put(h, 64, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+                .unwrap_err(),
             RdmaError::KindMismatch
         );
         assert_eq!(
-            ep.put(0xBAD, 64, Coord::new(1, 0, 0), 0, SrcHint::Auto).unwrap_err(),
+            ep.put(0xBAD, 64, Coord::new(1, 0, 0), 0, SrcHint::Auto)
+                .unwrap_err(),
             RdmaError::UnknownPointer
         );
     }
@@ -311,12 +329,16 @@ mod tests {
     fn put_maps_unregistered_source_on_the_fly() {
         let (mut ep, cuda, _) = endpoint();
         let g = cuda.borrow_mut().malloc(4096).unwrap();
-        let out = ep.put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu).unwrap();
+        let out = ep
+            .put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+            .unwrap();
         assert!(
             out.host_cost >= DriverConfig::default().reg_gpu,
             "first PUT pays the mapping"
         );
-        let again = ep.put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu).unwrap();
+        let again = ep
+            .put(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+            .unwrap();
         assert!(again.host_cost < out.host_cost, "cached afterwards");
     }
 }

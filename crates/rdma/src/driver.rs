@@ -51,6 +51,9 @@ mod tests {
         let d = DriverConfig::default();
         assert!(d.reg_gpu > d.reg_host, "GPU mapping costs more");
         assert!(d.reg_cache_hit < d.put_overhead);
-        assert!(d.pointer_query > d.put_overhead, "the flag exists to skip this");
+        assert!(
+            d.pointer_query > d.put_overhead,
+            "the flag exists to skip this"
+        );
     }
 }

@@ -117,7 +117,11 @@ mod tests {
     fn rig() -> (RdmaEndpoint, Rc<RefCell<CudaDevice>>, Rc<RefCell<Memory>>) {
         let (fabric, gpu_dev, nic_dev, hostmem_dev) = plx_platform();
         let cuda = Rc::new(RefCell::new(CudaDevice::new(GpuId(0), GpuArch::Fermi2050)));
-        let hostmem = Rc::new(RefCell::new(Memory::new(HOST_BASE, 64 << 20, HOST_PAGE_SIZE)));
+        let hostmem = Rc::new(RefCell::new(Memory::new(
+            HOST_BASE,
+            64 << 20,
+            HOST_PAGE_SIZE,
+        )));
         let mut uva = Uva::new();
         uva.set_host(&hostmem.borrow());
         uva.add_gpu(GpuId(0), &cuda.borrow().mem);
@@ -130,7 +134,10 @@ mod tests {
                 SimDuration::from_ns(600),
                 Bandwidth::from_mb_per_sec(2400),
             ))),
-            gpus: vec![GpuHandle { pcie_dev: gpu_dev, cuda: cuda.clone() }],
+            gpus: vec![GpuHandle {
+                pcie_dev: gpu_dev,
+                cuda: cuda.clone(),
+            }],
             firmware: Rc::new(RefCell::new(Firmware::new(1))),
         };
         (
@@ -168,7 +175,10 @@ mod tests {
         assert_eq!(hm.read_vec(b, 4096).unwrap(), vec![7u8; 4096]);
         // Host was blocked ≥ the 10 us sync D2H overhead.
         assert!(plan.host_free.since(SimTime::ZERO) >= SimDuration::from_us(10));
-        assert_eq!(plan.submissions[0].1.src_kind, apenet_core::nios::BufKind::Host);
+        assert_eq!(
+            plan.submissions[0].1.src_kind,
+            apenet_core::nios::BufKind::Host
+        );
     }
 
     #[test]

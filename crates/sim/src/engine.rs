@@ -9,6 +9,18 @@
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Events dispatched by every [`Sim`] in this process, across threads.
+/// Feeds the events/sec figures of the benchmark harness; per-instance
+/// counts are on [`Sim::events_processed`].
+static GLOBAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total events dispatched process-wide since start. Monotone; take a
+/// delta around a region to measure its event throughput.
+pub fn global_events() -> u64 {
+    GLOBAL_EVENTS.load(Ordering::Relaxed)
+}
 
 /// Index of an actor registered with a [`Sim`].
 pub type ActorId = usize;
@@ -25,6 +37,11 @@ pub trait Actor<M> {
     /// Optional downcast hook so assemblies can read concrete actor state
     /// back after a run.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+    /// Mutable counterpart of [`Actor::as_any`] so assemblies can re-wire
+    /// actor state (e.g. peers) after registration.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
 }
@@ -172,6 +189,7 @@ impl<M> Sim<M> {
         debug_assert!(ev.at >= self.now, "calendar went backwards");
         self.now = ev.at;
         self.events_processed += 1;
+        GLOBAL_EVENTS.fetch_add(1, Ordering::Relaxed);
         assert!(
             self.events_processed <= self.max_events,
             "simulation exceeded max_events = {} (runaway?)",
@@ -209,7 +227,9 @@ impl<M> Sim<M> {
             }
             self.step();
         }
-        self.now = self.now.max(deadline.min(self.now));
+        // Calendar drained before the deadline: idle forward to it, so
+        // repeated run_until calls observe monotone time.
+        self.now = self.now.max(deadline);
         self.now
     }
 
@@ -248,33 +268,54 @@ mod tests {
                 ctx.send_self(SimDuration::from_ns(1), Msg::Pong(*n));
             }
         }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
     }
 
     #[test]
     fn ping_pong_round_trips() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Sim::new();
-        let a = sim.add_actor(Box::new(Recorder { log: log.clone(), peer: None }));
-        let b = sim.add_actor(Box::new(Recorder { log: log.clone(), peer: Some(a) }));
-        sim.actor_mut(a); // exercise accessor
-        // wire a's peer now that b exists
-        // (simplest: rebuild actor a with peer)
-        let _ = a;
+        let a = sim.add_actor(Box::new(Recorder {
+            log: log.clone(),
+            peer: None,
+        }));
+        let b = sim.add_actor(Box::new(Recorder {
+            log: log.clone(),
+            peer: Some(a),
+        }));
+        // Wire a's peer now that b exists, via the downcast hook.
+        sim.actor_mut(a)
+            .as_any_mut()
+            .and_then(|x| x.downcast_mut::<Recorder>())
+            .expect("recorder at a")
+            .peer = Some(b);
         sim.send(b, SimTime::ZERO, Msg::Ping(2));
         sim.run();
         let log = log.borrow();
-        // Ping(2) at t=0, Pong(2) at 1ns, Ping(1) at a @10ns, Pong(1) @11ns.
+        // b: Ping(2) @0, Pong(2) @1ns; a: Ping(1) @10ns, Pong(1) @11ns;
+        // b again: Ping(0) @20ns (n == 0, no forward), Pong(0) @21ns.
         assert_eq!(log[0], (0, Msg::Ping(2)));
         assert_eq!(log[1], (1_000, Msg::Pong(2)));
         assert_eq!(log[2], (10_000, Msg::Ping(1)));
         assert_eq!(log[3], (11_000, Msg::Pong(1)));
+        assert_eq!(log[4], (20_000, Msg::Ping(0)));
+        assert_eq!(log[5], (21_000, Msg::Pong(0)));
+        assert_eq!(log.len(), 6, "ping bounced a → b and stopped at 0");
     }
 
     #[test]
     fn same_time_events_fifo() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Sim::new();
-        let a = sim.add_actor(Box::new(Recorder { log: log.clone(), peer: None }));
+        let a = sim.add_actor(Box::new(Recorder {
+            log: log.clone(),
+            peer: None,
+        }));
         for i in 0..16 {
             sim.send(a, SimTime::from_ps(42), Msg::Pong(i));
         }
@@ -294,7 +335,10 @@ mod tests {
     fn run_until_stops_at_deadline() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Sim::new();
-        let a = sim.add_actor(Box::new(Recorder { log: log.clone(), peer: None }));
+        let a = sim.add_actor(Box::new(Recorder {
+            log: log.clone(),
+            peer: None,
+        }));
         sim.send(a, SimTime::from_ps(100), Msg::Pong(0));
         sim.send(a, SimTime::from_ps(200), Msg::Pong(1));
         sim.run_until(SimTime::from_ps(150));
@@ -303,6 +347,26 @@ mod tests {
         sim.run();
         assert_eq!(log.borrow().len(), 2);
         assert_eq!(sim.now(), SimTime::from_ps(200));
+    }
+
+    #[test]
+    fn run_until_advances_to_deadline_when_drained() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        let a = sim.add_actor(Box::new(Recorder {
+            log: log.clone(),
+            peer: None,
+        }));
+        sim.send(a, SimTime::from_ps(100), Msg::Pong(0));
+        // The calendar drains at t = 100 ps, well before the deadline; the
+        // clock must still idle forward to the deadline.
+        let end = sim.run_until(SimTime::from_ps(5_000));
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(end, SimTime::from_ps(5_000));
+        assert_eq!(sim.now(), SimTime::from_ps(5_000));
+        // And never move backwards on an already-passed deadline.
+        let end = sim.run_until(SimTime::from_ps(1_000));
+        assert_eq!(end, SimTime::from_ps(5_000));
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! assert_eq!(sim.events_processed(), 6);
 //! ```
 
+pub mod bytes;
+pub mod check;
 pub mod engine;
 pub mod fifo;
 pub mod rate;

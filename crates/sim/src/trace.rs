@@ -37,7 +37,9 @@ pub struct SharedSink {
 impl SharedSink {
     /// A disabled sink: records are discarded without formatting cost.
     pub fn null() -> Self {
-        SharedSink { inner: SinkImpl::Null }
+        SharedSink {
+            inner: SinkImpl::Null,
+        }
     }
 
     /// A capturing sink; read it back with [`SharedSink::snapshot`].

@@ -1,36 +1,45 @@
 //! Property tests for the simulation primitives.
 
+use apenet_sim::check;
 use apenet_sim::rng::Xoshiro256ss;
 use apenet_sim::{Bandwidth, ByteFifo, SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Transfer-time arithmetic: time is exact enough that measuring the
-    /// implied rate recovers the configured rate within 1 ppm.
-    #[test]
-    fn bandwidth_roundtrip(rate_mb in 1u64..10_000, bytes in 1u64..(1 << 30)) {
+/// Transfer-time arithmetic: time is exact enough that measuring the
+/// implied rate recovers the configured rate within 1 ppm.
+#[test]
+fn bandwidth_roundtrip() {
+    check::check("bandwidth_roundtrip", |g| {
+        let rate_mb = g.u64(1, 10_000);
+        let bytes = g.u64(1, 1 << 30);
         let bw = Bandwidth::from_mb_per_sec(rate_mb);
         let t = bw.time_for(bytes);
-        prop_assert!(t > SimDuration::ZERO);
+        assert!(t > SimDuration::ZERO);
         let m = Bandwidth::measured(bytes, t);
         let rel = (m.bytes_per_sec() as f64 - bw.bytes_per_sec() as f64).abs()
             / bw.bytes_per_sec() as f64;
-        prop_assert!(rel < 1e-6, "rel error {rel}");
-    }
+        assert!(rel < 1e-6, "rel error {rel}");
+    });
+}
 
-    /// Transfer time is monotone and superadditive-exact in byte count.
-    #[test]
-    fn bandwidth_monotone(rate_mb in 1u64..10_000, a in 0u64..(1 << 24), b in 0u64..(1 << 24)) {
-        let bw = Bandwidth::from_mb_per_sec(rate_mb);
-        prop_assert!(bw.time_for(a + b) >= bw.time_for(a).max(bw.time_for(b)));
+/// Transfer time is monotone and superadditive-exact in byte count.
+#[test]
+fn bandwidth_monotone() {
+    check::check("bandwidth_monotone", |g| {
+        let bw = Bandwidth::from_mb_per_sec(g.u64(1, 10_000));
+        let a = g.u64(0, 1 << 24);
+        let b = g.u64(0, 1 << 24);
+        assert!(bw.time_for(a + b) >= bw.time_for(a).max(bw.time_for(b)));
         // Ceil rounding can only add, never lose, time when splitting.
-        prop_assert!(bw.time_for(a) + bw.time_for(b) >= bw.time_for(a + b));
-    }
+        assert!(bw.time_for(a) + bw.time_for(b) >= bw.time_for(a + b));
+    });
+}
 
-    /// The byte FIFO never exceeds capacity nor loses entries, for any
-    /// operation sequence.
-    #[test]
-    fn fifo_invariants(ops in prop::collection::vec((0u64..9000, prop::bool::ANY), 1..200)) {
+/// The byte FIFO never exceeds capacity nor loses entries, for any
+/// operation sequence.
+#[test]
+fn fifo_invariants() {
+    check::check("fifo_invariants", |g| {
+        let ops = g.vec_of(1, 200, |g| (g.u64(0, 9000), g.chance(0.5)));
         let mut fifo: ByteFifo<u64> = ByteFifo::with_default_watermark(32 * 1024);
         let mut model: std::collections::VecDeque<(u64, u64)> = Default::default();
         let mut next_id = 0u64;
@@ -41,41 +50,48 @@ proptest! {
                         model.push_back((bytes, next_id));
                     }
                     Err(id) => {
-                        prop_assert_eq!(id, next_id);
+                        assert_eq!(id, next_id);
                         // Push may only fail when it genuinely does not fit.
                         let occupied: u64 = model.iter().map(|(b, _)| *b).sum();
-                        prop_assert!(occupied + bytes > 32 * 1024);
+                        assert!(occupied + bytes > 32 * 1024);
                     }
                 }
                 next_id += 1;
             } else {
-                prop_assert_eq!(fifo.pop(), model.pop_front());
+                assert_eq!(fifo.pop(), model.pop_front());
             }
             let occupied: u64 = model.iter().map(|(b, _)| *b).sum();
-            prop_assert_eq!(fifo.occupied(), occupied);
-            prop_assert!(fifo.occupied() <= fifo.capacity());
-            prop_assert_eq!(fifo.len(), model.len());
+            assert_eq!(fifo.occupied(), occupied);
+            assert!(fifo.occupied() <= fifo.capacity());
+            assert_eq!(fifo.len(), model.len());
         }
-    }
+    });
+}
 
-    /// RNG range helpers always stay in bounds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+/// RNG range helpers always stay in bounds.
+#[test]
+fn rng_bounds() {
+    check::check("rng_bounds", |g| {
+        let seed = g.u64(0, u64::MAX);
+        let lo = g.u64(0, 1000);
+        let span = g.u64(0, 1000);
         let mut r = Xoshiro256ss::seed_from(seed);
         let hi = lo + span;
         for _ in 0..64 {
             let x = r.range_u64(lo, hi);
-            prop_assert!((lo..=hi).contains(&x));
+            assert!((lo..=hi).contains(&x));
         }
-    }
+    });
+}
 
-    /// Time arithmetic is associative with durations.
-    #[test]
-    fn time_assoc(a in 0u64..(1 << 40), b in 0u64..(1 << 40), c in 0u64..(1 << 40)) {
-        let t = SimTime::from_ps(a);
-        let d1 = SimDuration::from_ps(b);
-        let d2 = SimDuration::from_ps(c);
-        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
-        prop_assert_eq!(((t + d1) + d2) - t, d1 + d2);
-    }
+/// Time arithmetic is associative with durations.
+#[test]
+fn time_assoc() {
+    check::check("time_assoc", |g| {
+        let t = SimTime::from_ps(g.u64(0, 1 << 40));
+        let d1 = SimDuration::from_ps(g.u64(0, 1 << 40));
+        let d2 = SimDuration::from_ps(g.u64(0, 1 << 40));
+        assert_eq!((t + d1) + d2, t + (d1 + d2));
+        assert_eq!(((t + d1) + d2) - t, d1 + d2);
+    });
 }

@@ -25,7 +25,11 @@ fn main() {
         "# two-node {}-{} bandwidth on APEnet+ ({})",
         label(src),
         label(dst),
-        if staged { "host staging (P2P=OFF)" } else { "GPU peer-to-peer" }
+        if staged {
+            "host staging (P2P=OFF)"
+        } else {
+            "GPU peer-to-peer"
+        }
     );
     println!("{:>12} {:>12}", "bytes", "MB/s");
     for p in 5..=22 {
@@ -33,7 +37,13 @@ fn main() {
         let count = if size <= 64 * 1024 { 24 } else { 8 };
         let r = two_node_bandwidth(
             cluster_i_default(),
-            TwoNodeParams { src, dst, size, count, staged },
+            TwoNodeParams {
+                src,
+                dst,
+                size,
+                count,
+                staged,
+            },
         );
         println!("{size:>12} {:>12.1}", r.bandwidth.mb_per_sec_f64());
     }

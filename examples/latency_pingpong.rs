@@ -16,8 +16,22 @@ fn main() {
     );
     for p in 5..=13 {
         let size = 1u64 << p;
-        let p2p = pingpong_half_rtt(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, size, 10, false);
-        let staged = pingpong_half_rtt(cluster_i_default(), BufSide::Gpu, BufSide::Gpu, size, 10, true);
+        let p2p = pingpong_half_rtt(
+            cluster_i_default(),
+            BufSide::Gpu,
+            BufSide::Gpu,
+            size,
+            10,
+            false,
+        );
+        let staged = pingpong_half_rtt(
+            cluster_i_default(),
+            BufSide::Gpu,
+            BufSide::Gpu,
+            size,
+            10,
+            true,
+        );
         let mut mpi = CudaAwareMpi::new(2, IbConfig::cluster_ii());
         let ib = osu_latency_gg(&mut mpi, size, 10);
         println!(

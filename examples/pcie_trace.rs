@@ -6,8 +6,8 @@
 
 use apenet::cluster::harness::{flush_read_with_trace, BufSide};
 use apenet::cluster::presets::plx_node;
-use apenet::nic::config::GpuTxVersion;
 use apenet::gpu::GpuArch;
+use apenet::nic::config::GpuTxVersion;
 use apenet::pcie::analyzer::{render_trace, summarize_p2p_read};
 use apenet::sim::trace::SharedSink;
 

@@ -58,7 +58,11 @@ impl HostProgram for Receiver {
 
     fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
         if let HostIn::Delivered { dst_vaddr, len, .. } = ev {
-            let bytes = node.cuda[0].borrow_mut().mem.read_vec(dst_vaddr, len).unwrap();
+            let bytes = node.cuda[0]
+                .borrow_mut()
+                .mem
+                .read_vec(dst_vaddr, len)
+                .unwrap();
             let expect: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
             assert_eq!(bytes, expect, "payload corrupted in flight!");
             *self.done_at.borrow_mut() = Some((api.now, len));
@@ -68,10 +72,15 @@ impl HostProgram for Receiver {
 
 fn main() {
     let done = Rc::new(RefCell::new(None));
-    let mut cluster = ClusterBuilder::new(TorusDims::new(2, 1, 1), cluster_i_default()).build(vec![
-        Box::new(Sender { done_at: done.clone() }),
-        Box::new(Receiver { done_at: done.clone() }),
-    ]);
+    let mut cluster =
+        ClusterBuilder::new(TorusDims::new(2, 1, 1), cluster_i_default()).build(vec![
+            Box::new(Sender {
+                done_at: done.clone(),
+            }),
+            Box::new(Receiver {
+                done_at: done.clone(),
+            }),
+        ]);
     cluster.run();
     let (at, len) = done.borrow().expect("message delivered");
     println!("[receiver] {} KiB arrived intact at t = {at}", len / 1024);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline CI gate: format, lint, build, test. No network access
+# is needed at any step (the workspace has zero crates.io dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "==> ci.sh: all green"

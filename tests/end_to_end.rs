@@ -32,8 +32,15 @@ impl HostProgram for Script {
         // Deterministic fill patterns.
         let gpu_data: Vec<u8> = (0..REGION).map(|i| (i % 253) as u8).collect();
         let host_data: Vec<u8> = (0..REGION).map(|i| (i % 241) as u8).collect();
-        node.cuda[0].borrow_mut().mem.write(self.gpu_buf, &gpu_data).unwrap();
-        node.hostmem.borrow_mut().write(self.host_buf, &host_data).unwrap();
+        node.cuda[0]
+            .borrow_mut()
+            .mem
+            .write(self.gpu_buf, &gpu_data)
+            .unwrap();
+        node.hostmem
+            .borrow_mut()
+            .write(self.host_buf, &host_data)
+            .unwrap();
         let sends = std::mem::take(&mut self.sends);
         for (dst, len, hint, off) in sends {
             let src = match hint {
@@ -60,7 +67,10 @@ impl HostProgram for Script {
     }
 }
 
-fn run_scripted(dims: TorusDims, sends: Vec<(Coord, u64, SrcHint, u64)>) -> (Deliveries, Vec<apenet::cluster::cluster::NodeHandles>) {
+fn run_scripted(
+    dims: TorusDims,
+    sends: Vec<(Coord, u64, SrcHint, u64)>,
+) -> (Deliveries, Vec<apenet::cluster::cluster::NodeHandles>) {
     let deliveries: Deliveries = Rc::new(RefCell::new(Vec::new()));
     let programs: Vec<Box<dyn HostProgram>> = (0..dims.nodes())
         .map(|r| {
@@ -120,7 +130,11 @@ fn odd_sizes_and_offsets_arrive_exactly() {
         let gpu_base = nodes[1].cuda[0].borrow().mem.base();
         let is_gpu = *addr >= gpu_base;
         let got = if is_gpu {
-            nodes[1].cuda[0].borrow_mut().mem.read_vec(*addr, *len).unwrap()
+            nodes[1].cuda[0]
+                .borrow_mut()
+                .mem
+                .read_vec(*addr, *len)
+                .unwrap()
         } else {
             nodes[1].hostmem.borrow_mut().read_vec(*addr, *len).unwrap()
         };
@@ -201,7 +215,11 @@ fn fault_injection_is_caught_by_crc() {
     assert_eq!(delivered, 2, "only the untouched messages complete");
     // The delivered ones carry intact data.
     for (_, addr, len, _) in deliveries.borrow().iter() {
-        let got = cluster.nodes[1].cuda[0].borrow_mut().mem.read_vec(*addr, *len).unwrap();
+        let got = cluster.nodes[1].cuda[0]
+            .borrow_mut()
+            .mem
+            .read_vec(*addr, *len)
+            .unwrap();
         let expect: Vec<u8> = (0..*len).map(|i| (i % 253) as u8).collect();
         assert_eq!(got, expect);
     }

@@ -6,8 +6,8 @@ use apenet::cluster::msg::{HostApi, HostIn, HostProgram, NodeCtx};
 use apenet::cluster::presets::cluster_i_default;
 use apenet::nic::coord::{Coord, TorusDims};
 use apenet::rdma::api::SrcHint;
+use apenet::sim::check::{self, Gen};
 use apenet::sim::SimTime;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -21,15 +21,15 @@ struct Xfer {
     gpu_dst: bool,
 }
 
-fn xfer_strategy() -> impl Strategy<Value = Xfer> {
-    (1u64..150_000, 0u64..300_000, any::<bool>(), any::<bool>()).prop_map(
-        |(len, dst_off, gpu_src, gpu_dst)| Xfer {
-            len,
-            dst_off: dst_off.min(REGION - len),
-            gpu_src,
-            gpu_dst,
-        },
-    )
+fn gen_xfer(g: &mut Gen) -> Xfer {
+    let len = g.u64(1, 150_000);
+    let dst_off = g.u64(0, 300_000);
+    Xfer {
+        len,
+        dst_off: dst_off.min(REGION - len),
+        gpu_src: g.chance(0.5),
+        gpu_dst: g.chance(0.5),
+    }
 }
 
 struct PropProgram {
@@ -46,13 +46,35 @@ impl HostProgram for PropProgram {
         node.ep.register(self.gpu_buf, REGION).unwrap();
         node.ep.register(self.host_buf, REGION).unwrap();
         let fill: Vec<u8> = (0..REGION).map(|i| (i % 251) as u8).collect();
-        node.cuda[0].borrow_mut().mem.write(self.gpu_buf, &fill).unwrap();
-        node.hostmem.borrow_mut().write(self.host_buf, &fill).unwrap();
+        node.cuda[0]
+            .borrow_mut()
+            .mem
+            .write(self.gpu_buf, &fill)
+            .unwrap();
+        node.hostmem
+            .borrow_mut()
+            .write(self.host_buf, &fill)
+            .unwrap();
         for x in std::mem::take(&mut self.xfers) {
-            let src = if x.gpu_src { self.gpu_buf } else { self.host_buf };
-            let dst = if x.gpu_dst { self.gpu_buf } else { self.host_buf } + x.dst_off;
-            let hint = if x.gpu_src { SrcHint::Gpu } else { SrcHint::Host };
-            let out = node.ep.put(src, x.len, Coord::new(1, 0, 0), dst, hint).unwrap();
+            let src = if x.gpu_src {
+                self.gpu_buf
+            } else {
+                self.host_buf
+            };
+            let dst = if x.gpu_dst {
+                self.gpu_buf
+            } else {
+                self.host_buf
+            } + x.dst_off;
+            let hint = if x.gpu_src {
+                SrcHint::Gpu
+            } else {
+                SrcHint::Host
+            };
+            let out = node
+                .ep
+                .put(src, x.len, Coord::new(1, 0, 0), dst, hint)
+                .unwrap();
             api.submit(out.host_cost, out.desc);
         }
     }
@@ -64,15 +86,14 @@ impl HostProgram for PropProgram {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any mix of transfer kinds, sizes and destination offsets delivers
-    /// the exact source bytes at the exact destination, in causal time.
-    ///
-    /// Destination offsets are spaced so transfers never overlap.
-    #[test]
-    fn arbitrary_transfers_deliver_exact_bytes(seed_xfers in prop::collection::vec(xfer_strategy(), 1..5)) {
+/// Any mix of transfer kinds, sizes and destination offsets delivers
+/// the exact source bytes at the exact destination, in causal time.
+///
+/// Destination offsets are spaced so transfers never overlap.
+#[test]
+fn arbitrary_transfers_deliver_exact_bytes() {
+    check::cases("arbitrary_transfers_deliver_exact_bytes", 24, |g| {
+        let seed_xfers = g.vec_of(1, 5, gen_xfer);
         // De-overlap destinations: give each transfer its own lane.
         let lanes = seed_xfers.len() as u64;
         let lane_size = REGION / lanes;
@@ -96,21 +117,29 @@ proptest! {
                 }) as Box<dyn HostProgram>
             })
             .collect();
-        let mut cluster = ClusterBuilder::new(TorusDims::new(2, 1, 1), cluster_i_default())
-            .build(programs);
+        let mut cluster =
+            ClusterBuilder::new(TorusDims::new(2, 1, 1), cluster_i_default()).build(programs);
         cluster.run();
         let got = outcome.borrow();
-        prop_assert_eq!(got.len(), xfers.len(), "every transfer delivered once");
+        assert_eq!(got.len(), xfers.len(), "every transfer delivered once");
         for (addr, len, at) in got.iter() {
-            prop_assert!(*at > SimTime::ZERO);
+            assert!(*at > SimTime::ZERO);
             let gpu_base = cluster.nodes[1].cuda[0].borrow().mem.base();
             let data = if *addr >= gpu_base {
-                cluster.nodes[1].cuda[0].borrow_mut().mem.read_vec(*addr, *len).unwrap()
+                cluster.nodes[1].cuda[0]
+                    .borrow_mut()
+                    .mem
+                    .read_vec(*addr, *len)
+                    .unwrap()
             } else {
-                cluster.nodes[1].hostmem.borrow_mut().read_vec(*addr, *len).unwrap()
+                cluster.nodes[1]
+                    .hostmem
+                    .borrow_mut()
+                    .read_vec(*addr, *len)
+                    .unwrap()
             };
             let expect: Vec<u8> = (0..*len).map(|i| (i % 251) as u8).collect();
-            prop_assert_eq!(data, expect);
+            assert_eq!(data, expect);
         }
-    }
+    });
 }
