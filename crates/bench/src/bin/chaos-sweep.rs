@@ -1,0 +1,6 @@
+//! Regenerates the effective-bandwidth-vs-fault-rate sweep (see
+//! `apenet_bench::figs::chaos_sweep`).
+
+fn main() {
+    apenet_bench::figs::chaos_sweep::run();
+}

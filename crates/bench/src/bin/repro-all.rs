@@ -28,7 +28,29 @@ fn jobs() -> Vec<(&'static str, fn())> {
         ("fig12", figs::fig12::run),
         ("bar1_ablation", figs::bar1_ablation::run),
         ("bidir", figs::bidir::run),
+        ("chaos_sweep", figs::chaos_sweep::run),
     ]
+}
+
+/// Render one [`link_totals`] snapshot as a JSON object. Every figure of
+/// the paper runs on clean links, so only the chaos sweep contributes:
+/// with it excluded (or faults off) every field is zero.
+fn link_json(t: &apenet_core::card::link_totals::LinkTotals) -> String {
+    format!(
+        "{{\"retransmits\": {}, \"timeouts\": {}, \"naks\": {}, \"dup_frames\": {}, \
+         \"crc_dropped\": {}, \"injected_corrupt\": {}, \"injected_drops\": {}, \
+         \"injected_stalls\": {}, \"stall_ms\": {:.3}, \"clean\": {}}}",
+        t.retransmits,
+        t.timeouts,
+        t.naks_sent,
+        t.dup_frames,
+        t.crc_dropped,
+        t.injected_corrupt,
+        t.injected_drops,
+        t.injected_stalls,
+        t.stall_ps as f64 * 1e-9,
+        t.is_clean(),
+    )
 }
 
 /// One full pass over every experiment; returns (wall seconds, events).
@@ -48,8 +70,11 @@ fn run_all(tag: &str) -> (f64, u64) {
 }
 
 fn main() {
+    use apenet_core::card::link_totals;
     let threads = sweep::threads();
+    let links0 = link_totals::snapshot();
     let (par_s, par_ev) = run_all("parallel");
+    let links = link_totals::delta(&link_totals::snapshot(), &links0);
     let par_eps = par_ev as f64 / par_s.max(1e-9);
     eprintln!(
         "[repro-all] parallel ({threads} threads): {par_ev} events in {par_s:.1}s \
@@ -72,6 +97,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"link_reliability\": {},\n", link_json(&links)));
     json.push_str(&format!(
         "  \"parallel\": {{\"wall_s\": {par_s:.3}, \"events\": {par_ev}, \"events_per_sec\": {par_eps:.1}}}"
     ));

@@ -2,6 +2,7 @@
 
 pub mod bar1_ablation;
 pub mod bidir;
+pub mod chaos_sweep;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;

@@ -1,6 +1,8 @@
 //! The parallel sweep must be invisible in the output: running a figure
 //! with one worker or many must produce byte-identical `results/*.txt`.
-//! Covers a bandwidth sweep (fig06) and an application table (table2).
+//! Covers a bandwidth sweep (fig06), an application table (table2), and
+//! the fault-injected chaos sweep (chaos_sweep) — determinism must
+//! survive seeded corruption, drops, stalls and go-back-N recovery.
 
 use apenet_bench::{figs, sweep};
 
@@ -10,6 +12,7 @@ fn run_pass(dir: &std::path::Path, threads: usize) {
     sweep::set_threads(threads);
     figs::fig06::run();
     figs::table2::run();
+    figs::chaos_sweep::run();
     sweep::set_threads(0);
 }
 
@@ -21,7 +24,7 @@ fn parallel_output_is_byte_identical_to_serial() {
     run_pass(&serial, 1);
     run_pass(&parallel, 4);
     std::env::remove_var("APENET_RESULTS");
-    for name in ["fig06.txt", "table2.txt"] {
+    for name in ["fig06.txt", "table2.txt", "chaos_sweep.txt"] {
         let a = std::fs::read(serial.join(name)).expect("serial output");
         let b = std::fs::read(parallel.join(name)).expect("parallel output");
         assert!(!a.is_empty());

@@ -1,0 +1,43 @@
+//! Fault-free golden regression: with every injector disabled (the
+//! default), the retransmission machinery must cost nothing — fig04,
+//! fig06 and table1 regenerate byte-identical to the committed
+//! `results/` files, pinned here as FNV-1a digests. A timing shift
+//! anywhere in the TX/RX/link datapath shows up as a digest change.
+
+use apenet_bench::figs;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn clean_links_reproduce_golden_outputs() {
+    let tmp = std::env::temp_dir().join(format!("apenet-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("results dir");
+    std::env::set_var("APENET_RESULTS", &tmp);
+    figs::fig04::run();
+    figs::fig06::run();
+    figs::table1::run();
+    std::env::remove_var("APENET_RESULTS");
+    // Digests of the committed pre-reliability-layer results/ files.
+    let golden = [
+        ("fig04.txt", 0x3cc1_5b14_0e58_09ad_u64),
+        ("fig06.txt", 0xfebb_d2ba_7908_eca3),
+        ("table1.txt", 0xd49b_2204_1a76_0189),
+    ];
+    for (name, want) in golden {
+        let bytes = std::fs::read(tmp.join(name)).expect("generated output");
+        assert!(!bytes.is_empty());
+        assert_eq!(
+            fnv1a(&bytes),
+            want,
+            "{name} drifted from the committed golden output"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -4,10 +4,11 @@ use crate::msg::{CardActor, HostActor, HostIn, HostProgram, Msg, NodeCtx};
 use crate::node::{build_node, NodeConfig};
 use apenet_core::card::CardShared;
 use apenet_core::coord::{LinkDir, TorusDims};
-use apenet_core::torus::TorusLink;
+use apenet_core::torus::{Port, TorusLink};
 use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
 use apenet_sim::engine::{ActorId, Sim};
+use apenet_sim::fault::{derive_seed, FaultInjector};
 use apenet_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -67,6 +68,23 @@ impl ClusterBuilder {
             for dir in LinkDir::ALL {
                 let link = Rc::new(RefCell::new(TorusLink::new_gbps(link_gbps, link_lat)));
                 node.card.set_link(dir, link);
+            }
+        }
+        // Attach fault injectors per the plan; every (card, port) pair
+        // derives an independent stream from the single plan seed, so
+        // the whole cluster's fault schedule replays from one u64.
+        let plan = &self.node_cfg.faults;
+        if !plan.is_noop() {
+            for (rank, node) in built.iter_mut().enumerate() {
+                for port in Port::ALL {
+                    let spec = plan.spec_for(rank as u32, port);
+                    if spec.is_noop() {
+                        continue;
+                    }
+                    let salt = ((rank as u64) << 8) | port.index() as u64;
+                    let inj = FaultInjector::new(spec, derive_seed(plan.seed, salt));
+                    node.card.set_fault_injector(port, inj);
+                }
             }
         }
         // Register actors: hosts first so cards can reference them.

@@ -869,3 +869,280 @@ pub fn two_node_bidir_bandwidth(
     // combined completion stream.
     measure(&r, size)
 }
+
+// ---------------------------------------------------------------------------
+// Chaos harness: exactly-once delivery under injected link faults.
+// ---------------------------------------------------------------------------
+
+/// Parameters of one chaos run (see [`chaos_run`]).
+#[derive(Debug, Clone)]
+pub struct ChaosParams {
+    /// Messages each rank streams to its ring successor.
+    pub msgs_per_rank: u32,
+    /// Length of each message in bytes.
+    pub msg_len: u64,
+    /// Poll the driver watchdog from host wake-ups and re-issue expired
+    /// messages (application-level recovery above the link layer).
+    pub watchdog_reissue: bool,
+}
+
+/// Everything a chaos run proves or measures, aggregated over the
+/// cluster.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Messages the run expected to deliver.
+    pub expected: u64,
+    /// Distinct messages actually delivered.
+    pub delivered: u64,
+    /// Repeat deliveries seen by any completion queue (exactly-once
+    /// requires 0).
+    pub duplicates: u64,
+    /// Every delivered payload byte-exact at its destination GPU.
+    pub payload_ok: bool,
+    /// Every card drained all queues, replay buffers and partial
+    /// reassembly state.
+    pub quiesced: bool,
+    /// Driver-watchdog alarms (0 while link-level recovery is healthy).
+    pub watchdog_fired: u64,
+    /// Messages re-issued by the watchdog path.
+    pub watchdog_reissues: u64,
+    /// Link-layer replays across all cards.
+    pub retransmits: u64,
+    /// Retransmit-timer expirations that triggered a replay.
+    pub timeouts: u64,
+    /// Duplicate data frames discarded (and re-ACKed) on receive.
+    pub dup_frames: u64,
+    /// Frames dropped on CRC failure (only with retransmission disabled).
+    pub crc_dropped: u64,
+    /// NAKs sent across all cards.
+    pub naks: u64,
+    /// Injected (corruptions, drops, stalls) across all cards.
+    pub injected: (u64, u64, u64),
+    /// Total injected stall time across all links, in picoseconds.
+    pub stall_ps: u64,
+    /// Latest delivery timestamp across all ranks (effective-bandwidth
+    /// endpoint; `end` includes trailing watchdog poll wake-ups).
+    pub last_delivery: SimTime,
+    /// Simulated end time.
+    pub end: SimTime,
+}
+
+struct ChaosShared {
+    watchdog: apenet_rdma::driver::Watchdog,
+    delivered: std::collections::BTreeSet<apenet_core::packet::MsgId>,
+    descs: std::collections::BTreeMap<apenet_core::packet::MsgId, apenet_core::card::TxDesc>,
+    /// Expired messages routed back to their source rank for re-issue.
+    reissue: Vec<std::collections::VecDeque<apenet_core::card::TxDesc>>,
+    reissues: u64,
+}
+
+struct ChaosRank {
+    rank: u32,
+    msgs: u32,
+    msg_len: u64,
+    reissue: bool,
+    poll: SimDuration,
+    peer: Coord,
+    tx_buf: u64,
+    rx_buf: u64,
+    shared: Rc<RefCell<ChaosShared>>,
+}
+
+/// The deterministic payload byte of `(src_rank, byte offset)` — the
+/// whole TX region of one rank is one stream of these.
+fn chaos_byte(src_rank: u32, off: u64) -> u8 {
+    (off as u8)
+        .wrapping_mul(31)
+        .wrapping_add((src_rank as u8).wrapping_mul(97))
+        ^ 0x5A
+}
+
+impl ChaosRank {
+    fn pump(&mut self, api: &mut HostApi<'_, '_>) {
+        let mut sh = self.shared.borrow_mut();
+        // Route every globally-expired message to its source rank (the
+        // watchdog re-armed each with a backed-off deadline), then drain
+        // this rank's own queue.
+        for msg in sh.watchdog.expired(api.now) {
+            let desc = sh.descs[&msg].clone();
+            sh.reissue[msg.src_rank as usize].push_back(desc);
+        }
+        while let Some(desc) = sh.reissue[self.rank as usize].pop_front() {
+            sh.reissues += 1;
+            api.submit(SimDuration::ZERO, desc);
+        }
+        // Keep polling while anything in the cluster is still armed.
+        if sh.watchdog.outstanding() > 0 || sh.reissue.iter().any(|q| !q.is_empty()) {
+            api.wake(self.poll, 0);
+        }
+    }
+}
+
+impl HostProgram for ChaosRank {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let region = (self.msgs as u64 * self.msg_len).max(1);
+        // Allocation order is identical on every rank, so this rank's RX
+        // address equals its peer's — senders can address peer memory
+        // without an out-of-band exchange.
+        self.rx_buf = node.cuda[0].borrow_mut().malloc(region).unwrap();
+        self.tx_buf = node.cuda[0].borrow_mut().malloc(region).unwrap();
+        node.ep.register(self.rx_buf, region).unwrap();
+        node.ep.register(self.tx_buf, region).unwrap();
+        let data: Vec<u8> = (0..region).map(|o| chaos_byte(self.rank, o)).collect();
+        node.cuda[0]
+            .borrow_mut()
+            .mem
+            .write(self.tx_buf, &data)
+            .unwrap();
+        for i in 0..self.msgs {
+            let off = i as u64 * self.msg_len;
+            let out = node
+                .ep
+                .put(
+                    self.tx_buf + off,
+                    self.msg_len,
+                    self.peer,
+                    self.rx_buf + off,
+                    SrcHint::Gpu,
+                )
+                .unwrap();
+            let mut sh = self.shared.borrow_mut();
+            sh.watchdog.arm(out.desc.msg, api.now);
+            sh.descs.insert(out.desc.msg, out.desc.clone());
+            drop(sh);
+            api.submit(out.host_cost, out.desc);
+        }
+        if self.reissue {
+            api.wake(self.poll, 0);
+        }
+    }
+
+    fn on_event(&mut self, ev: HostIn, _node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        match ev {
+            HostIn::Delivered { msg, .. } => {
+                let mut sh = self.shared.borrow_mut();
+                sh.delivered.insert(msg);
+                sh.watchdog.disarm(&msg);
+            }
+            HostIn::Wake(_) if self.reissue => self.pump(api),
+            _ => {}
+        }
+    }
+}
+
+/// Run a seeded chaos workload: every rank of `dims` streams
+/// `msgs_per_rank` GPU-to-GPU PUTs to its ring successor while the fault
+/// plan in `node_cfg.faults` corrupts, drops and stalls link frames. The
+/// report carries everything the exactly-once proof needs: distinct
+/// deliveries, duplicate completions, byte-exactness of every destination
+/// region, card quiescence and the fault/recovery counter totals.
+pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> ChaosReport {
+    let n = dims.nodes();
+    assert!(n >= 2, "the ring workload needs at least two nodes");
+    let wd_cfg = node_cfg.driver.watchdog.clone();
+    let poll = SimDuration::from_ps((wd_cfg.timeout.as_ps() / 4).max(1));
+    let shared = Rc::new(RefCell::new(ChaosShared {
+        watchdog: apenet_rdma::driver::Watchdog::new(wd_cfg),
+        delivered: Default::default(),
+        descs: Default::default(),
+        reissue: (0..n).map(|_| Default::default()).collect(),
+        reissues: 0,
+    }));
+    let programs: Vec<Box<dyn HostProgram>> = (0..n)
+        .map(|r| {
+            Box::new(ChaosRank {
+                rank: r as u32,
+                msgs: p.msgs_per_rank,
+                msg_len: p.msg_len,
+                reissue: p.watchdog_reissue,
+                poll,
+                peer: dims.coord_of((r + 1) % n),
+                tx_buf: 0,
+                rx_buf: 0,
+                shared: shared.clone(),
+            }) as Box<dyn HostProgram>
+        })
+        .collect();
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(programs);
+    let end = cluster.run();
+
+    // Verify every destination region byte-exactly: rank d's RX buffer
+    // must hold its predecessor's TX stream.
+    let region = p.msgs_per_rank as u64 * p.msg_len;
+    let mut payload_ok = true;
+    let sh = shared.borrow();
+    if region > 0 {
+        for d in 0..n {
+            let src = ((d + n) - 1) % n;
+            let host = cluster.host(d);
+            let rx_buf = {
+                // Same deterministic allocation order as ChaosRank::start.
+                let gpu_base = host.node.cuda[0].borrow().mem.base();
+                gpu_base
+            };
+            // Only fully-delivered slots are checked: with recovery
+            // disabled, lost messages leave their slots unwritten.
+            for i in 0..p.msgs_per_rank {
+                let msg_delivered = sh.descs.iter().any(|(m, desc)| {
+                    m.src_rank == src as u32
+                        && desc.dst_vaddr == rx_buf + i as u64 * p.msg_len
+                        && sh.delivered.contains(m)
+                });
+                if !msg_delivered {
+                    continue;
+                }
+                let off = i as u64 * p.msg_len;
+                let got = host.node.cuda[0]
+                    .borrow_mut()
+                    .mem
+                    .read_vec(rx_buf + off, p.msg_len)
+                    .unwrap();
+                let ok = got
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &b)| b == chaos_byte(src as u32, off + j as u64));
+                payload_ok &= ok;
+            }
+        }
+    }
+
+    let mut report = ChaosReport {
+        expected: n as u64 * p.msgs_per_rank as u64,
+        delivered: sh.delivered.len() as u64,
+        duplicates: 0,
+        payload_ok,
+        quiesced: true,
+        watchdog_fired: sh.watchdog.fired,
+        watchdog_reissues: sh.reissues,
+        retransmits: 0,
+        timeouts: 0,
+        dup_frames: 0,
+        crc_dropped: 0,
+        naks: 0,
+        injected: (0, 0, 0),
+        stall_ps: 0,
+        last_delivery: SimTime::ZERO,
+        end,
+    };
+    for r in 0..n {
+        let cq = &cluster.host(r).node.cq;
+        report.duplicates += cq.duplicate_count();
+        if let Some(t) = cq.last_delivery() {
+            report.last_delivery = report.last_delivery.max(t);
+        }
+        let card = cluster.card(r).card();
+        report.quiesced &= card.quiesced();
+        report.retransmits += card.stats.retransmits;
+        report.crc_dropped += card.stats.crc_dropped;
+        for l in &card.stats.links {
+            report.naks += l.naks_sent;
+            report.timeouts += l.timeouts;
+            report.dup_frames += l.dup_frames;
+            report.injected.0 += l.injected_corrupt;
+            report.injected.1 += l.injected_drops;
+            report.injected.2 += l.injected_stalls;
+            report.stall_ps += l.stall_ps;
+        }
+    }
+    report
+}

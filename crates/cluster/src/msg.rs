@@ -4,6 +4,7 @@
 use apenet_core::card::{Card, CardIn, CardOut, TxDesc};
 use apenet_core::coord::{Coord, TorusDims};
 use apenet_core::packet::MsgId;
+use apenet_core::torus::Port;
 use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
 use apenet_rdma::api::RdmaEndpoint;
@@ -80,10 +81,18 @@ impl Actor<Msg> for CardActor {
         for (delay, eff) in self.outbox.drain() {
             match eff {
                 CardOut::ToSelf(next) => ctx.send_self(delay, Msg::Card(next)),
-                CardOut::TorusSend { dir, packet } => {
+                CardOut::TorusSend { dir, msg } => {
                     let to = self.neighbors[dir.index()]
                         .expect("torus neighbour wired for used direction");
-                    ctx.send(to, delay, Msg::Card(CardIn::RxPacket(packet)));
+                    // The neighbour receives on the opposite-direction port.
+                    ctx.send(
+                        to,
+                        delay,
+                        Msg::Card(CardIn::LinkRx {
+                            port: Port::Link(dir.opposite()),
+                            msg,
+                        }),
+                    );
                 }
                 CardOut::Delivered {
                     msg,

@@ -3,6 +3,7 @@
 use apenet_core::card::{Card, CardShared, Firmware, GpuHandle};
 use apenet_core::config::CardConfig;
 use apenet_core::coord::{Coord, TorusDims};
+use apenet_core::torus::Port;
 use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
 use apenet_gpu::uva::HOST_BASE;
@@ -13,9 +14,77 @@ use apenet_pcie::server::ReadServer;
 use apenet_rdma::api::RdmaEndpoint;
 use apenet_rdma::completion::CompletionQueue;
 use apenet_rdma::driver::DriverConfig;
+use apenet_sim::fault::FaultSpec;
 use apenet_sim::{Bandwidth, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Which ports of which cards get fault injectors, and with what rates.
+///
+/// The plan is pure configuration: the cluster builder turns it into
+/// seeded [`apenet_sim::fault::FaultInjector`]s, deriving every
+/// (card, port) stream independently from `seed` so one u64 reproduces
+/// the whole cluster's fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Base seed for all injector streams.
+    pub seed: u64,
+    /// Spec applied to every torus link port of every card.
+    pub links: FaultSpec,
+    /// Spec applied to every card's internal loop-back port.
+    pub loopback: FaultSpec,
+    /// Per-(rank, port) overrides, taking precedence over the uniform
+    /// specs (e.g. one flaky cable in an otherwise healthy torus).
+    pub overrides: Vec<(u32, Port, FaultSpec)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// No injected faults anywhere (the default).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            links: FaultSpec::default(),
+            loopback: FaultSpec::default(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The same spec on every port of every card (loop-back included).
+    pub fn uniform(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            links: spec,
+            loopback: spec,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The effective spec for one (rank, port).
+    pub fn spec_for(&self, rank: u32, port: Port) -> FaultSpec {
+        for (r, p, s) in &self.overrides {
+            if *r == rank && *p == port {
+                return *s;
+            }
+        }
+        match port {
+            Port::Loopback => self.loopback,
+            Port::Link(_) => self.links,
+        }
+    }
+
+    /// True when no port of any card can ever see a fault.
+    pub fn is_noop(&self) -> bool {
+        self.links.is_noop()
+            && self.loopback.is_noop()
+            && self.overrides.iter().all(|(_, _, s)| s.is_noop())
+    }
+}
 
 /// Configuration of one node.
 #[derive(Debug, Clone)]
@@ -32,6 +101,8 @@ pub struct NodeConfig {
     pub host_read_rate: Bandwidth,
     /// First-completion latency of host memory reads.
     pub host_read_latency: SimDuration,
+    /// Fault-injection plan for the cluster's links (default: none).
+    pub faults: FaultPlan,
 }
 
 impl Default for NodeConfig {
@@ -43,6 +114,7 @@ impl Default for NodeConfig {
             driver: DriverConfig::default(),
             host_read_rate: Bandwidth::from_mb_per_sec(2400),
             host_read_latency: SimDuration::from_ns(400),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -143,6 +215,22 @@ mod tests {
         let g = n.cuda[0].borrow().mem.base();
         assert!(n.uva.is_gpu_ptr(g));
         assert!(!n.uva.is_gpu_ptr(n.hostmem.borrow().base()));
+    }
+
+    #[test]
+    fn fault_plan_resolution() {
+        use apenet_core::coord::LinkDir;
+        assert!(FaultPlan::none().is_noop());
+        let mut plan = FaultPlan::uniform(7, FaultSpec::corrupt(0.1));
+        assert!(!plan.is_noop());
+        assert_eq!(plan.spec_for(0, Port::Loopback), FaultSpec::corrupt(0.1));
+        let hot = FaultSpec::chaos(0.5);
+        plan.overrides.push((2, Port::Link(LinkDir::Xp), hot));
+        assert_eq!(plan.spec_for(2, Port::Link(LinkDir::Xp)), hot);
+        assert_eq!(
+            plan.spec_for(2, Port::Link(LinkDir::Xm)),
+            FaultSpec::corrupt(0.1)
+        );
     }
 
     #[test]

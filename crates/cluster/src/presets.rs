@@ -1,9 +1,10 @@
 //! The paper's test platforms.
 
-use crate::node::NodeConfig;
+use crate::node::{FaultPlan, NodeConfig};
 use apenet_core::config::{CardConfig, GpuReadMethod, GpuTxVersion};
 use apenet_core::coord::TorusDims;
 use apenet_gpu::GpuArch;
+use apenet_sim::fault::FaultSpec;
 
 /// Cluster I: "eight dual-socket Xeon Westmere nodes, arranged in a 4×2
 /// torus topology, each one equipped with a single GPU (all Fermi 2050
@@ -41,6 +42,28 @@ pub fn cluster_i_hsg() -> NodeConfig {
     cfg
 }
 
+/// Cluster I with a uniform seeded fault plan armed on every torus link
+/// (loop-back stays healthy — chaos workloads exercise the cables).
+pub fn cluster_i_chaos(seed: u64, spec: FaultSpec) -> NodeConfig {
+    let mut cfg = cluster_i_default();
+    cfg.faults = FaultPlan {
+        seed,
+        links: spec,
+        loopback: FaultSpec::default(),
+        overrides: Vec::new(),
+    };
+    cfg
+}
+
+/// [`cluster_i_chaos`] with the reliability layer disabled — the
+/// kill-switch configuration the chaos suite uses to prove it detects a
+/// broken link layer.
+pub fn cluster_i_chaos_no_retrans(seed: u64, spec: FaultSpec) -> NodeConfig {
+    let mut cfg = cluster_i_chaos(seed, spec);
+    cfg.card.link_retrans = false;
+    cfg
+}
+
 /// The single-node SuperMicro/PLX platform of the Table I and Fig. 3
 /// measurements, with a selectable GPU.
 pub fn plx_node(arch: GpuArch, version: GpuTxVersion, window: u64) -> NodeConfig {
@@ -71,6 +94,19 @@ mod tests {
     fn hsg_links_run_at_20g() {
         assert_eq!(cluster_i_hsg().card.link_gbps, 20);
         assert_eq!(cluster_i_default().card.link_gbps, 28);
+    }
+
+    #[test]
+    fn chaos_presets_arm_links_only() {
+        let c = cluster_i_chaos(42, FaultSpec::chaos(0.05));
+        assert!(!c.faults.is_noop());
+        assert!(c.faults.loopback.is_noop());
+        assert!(c.card.link_retrans);
+        assert!(
+            !cluster_i_chaos_no_retrans(42, FaultSpec::chaos(0.05))
+                .card
+                .link_retrans
+        );
     }
 
     #[test]

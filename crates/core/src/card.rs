@@ -12,7 +12,7 @@ use crate::coord::{Coord, LinkDir, TorusDims};
 use crate::gpu_tx::FetchPlan;
 use crate::nios::{BufEntry, BufKind, BufList, GpuV2p, HostV2p, Nios, PageDesc};
 use crate::packet::{ApePacket, MsgId, APE_MAX_PAYLOAD};
-use crate::torus::TorusLink;
+use crate::torus::{LinkFrame, LinkMsg, Port, TorusLink, NUM_PORTS};
 use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
 use apenet_gpu::GPU_PAGE_SIZE;
@@ -20,6 +20,8 @@ use apenet_pcie::fabric::{DeviceId, Fabric};
 use apenet_pcie::server::ReadServer;
 use apenet_pcie::tlp::TlpKind;
 use apenet_sim::bytes::PayloadSlice;
+use apenet_sim::fault::{self, FaultInjector};
+use apenet_sim::rng::Xoshiro256ss;
 use apenet_sim::{Bandwidth, ByteFifo, Device, Outbox, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -142,8 +144,22 @@ pub struct TxDesc {
 pub enum CardIn {
     /// The host driver posts a transmission.
     TxSubmit(TxDesc),
-    /// A packet arrives from a torus link (or the loop-back path).
-    RxPacket(ApePacket),
+    /// A link-layer frame (data or ACK/NAK credit) arrives on `port` —
+    /// a torus ingress direction or the internal loop-back path.
+    LinkRx {
+        /// Ingress port.
+        port: Port,
+        /// The frame.
+        msg: LinkMsg,
+    },
+    /// The retransmit timer of `port` fired. Stale epochs are ignored:
+    /// the epoch counter bumps whenever the window advances.
+    LinkTimeout {
+        /// The transmitting port whose timer fired.
+        port: Port,
+        /// Timer epoch at arming time.
+        epoch: u64,
+    },
     /// Data for TX job `job` arrived from the source memory.
     FetchArrived {
         /// TX job id.
@@ -169,13 +185,15 @@ pub enum CardIn {
 pub enum CardOut {
     /// Deliver back to this card after the attached delay.
     ToSelf(CardIn),
-    /// A packet leaves on the torus link in direction `dir`; the delay
-    /// already accounts for serialization and cable latency.
+    /// A link-layer frame leaves on the torus link in direction `dir`;
+    /// for data frames the delay already accounts for serialization and
+    /// cable latency, for ACK/NAK credits (out-of-band control symbols)
+    /// it is the cable latency alone.
     TorusSend {
         /// Outgoing link direction.
         dir: LinkDir,
-        /// The packet.
-        packet: ApePacket,
+        /// The frame.
+        msg: LinkMsg,
     },
     /// A complete message landed in a local buffer (RX completion event).
     Delivered {
@@ -193,6 +211,145 @@ pub enum CardOut {
     },
 }
 
+/// Per-port link-layer counters: retransmission activity and injected
+/// degradation, the raw material of the effective-bandwidth reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Data frames put on the wire (first transmissions + replays).
+    pub data_frames: u64,
+    /// Data frames replayed by go-back-N (NAK- or timeout-triggered).
+    pub retransmits: u64,
+    /// Retransmit-timer expirations that triggered a replay.
+    pub timeouts: u64,
+    /// NAKs sent by this port's receive side.
+    pub naks_sent: u64,
+    /// Duplicate data frames discarded (and re-ACKed) on receive.
+    pub dup_frames: u64,
+    /// Frames corrupted by the port's fault injector.
+    pub injected_corrupt: u64,
+    /// Frames (data or control) eaten by the port's fault injector.
+    pub injected_drops: u64,
+    /// Stall windows inserted by the port's fault injector.
+    pub injected_stalls: u64,
+    /// Total injected stall time in picoseconds.
+    pub stall_ps: u64,
+    /// Frames dropped on CRC failure (kill-switch mode only; with
+    /// retransmission on, CRC failures turn into NAKs instead).
+    pub crc_dropped: u64,
+}
+
+impl LinkStats {
+    /// True when the port saw no retransmission activity and no injected
+    /// damage — what every port of a healthy run must report.
+    pub fn is_clean(&self) -> bool {
+        self.retransmits == 0
+            && self.timeouts == 0
+            && self.naks_sent == 0
+            && self.dup_frames == 0
+            && self.injected_corrupt == 0
+            && self.injected_drops == 0
+            && self.injected_stalls == 0
+            && self.stall_ps == 0
+            && self.crc_dropped == 0
+    }
+}
+
+/// Process-wide link-reliability totals.
+///
+/// Every [`Card`] publishes its per-port [`LinkStats`] sums here when it
+/// is dropped, so a driver that runs many simulations (`repro-all`) can
+/// report aggregate retransmission/degradation activity without keeping
+/// any cluster alive. All-zero on clean runs: a fault-free simulation
+/// never replays, NAKs, or stalls.
+pub mod link_totals {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static RETRANSMITS: AtomicU64 = AtomicU64::new(0);
+    static TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+    static NAKS_SENT: AtomicU64 = AtomicU64::new(0);
+    static DUP_FRAMES: AtomicU64 = AtomicU64::new(0);
+    static INJECTED_CORRUPT: AtomicU64 = AtomicU64::new(0);
+    static INJECTED_DROPS: AtomicU64 = AtomicU64::new(0);
+    static INJECTED_STALLS: AtomicU64 = AtomicU64::new(0);
+    static STALL_PS: AtomicU64 = AtomicU64::new(0);
+    static CRC_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+    /// One snapshot of the process-wide totals.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct LinkTotals {
+        /// Data frames replayed by go-back-N across all cards.
+        pub retransmits: u64,
+        /// Retransmit-timer expirations that triggered a replay.
+        pub timeouts: u64,
+        /// NAKs sent.
+        pub naks_sent: u64,
+        /// Duplicate data frames discarded on receive.
+        pub dup_frames: u64,
+        /// Frames corrupted by fault injectors.
+        pub injected_corrupt: u64,
+        /// Frames eaten by fault injectors.
+        pub injected_drops: u64,
+        /// Stall windows inserted by fault injectors.
+        pub injected_stalls: u64,
+        /// Total injected stall time in picoseconds.
+        pub stall_ps: u64,
+        /// Frames lost to CRC failure (kill-switch mode only).
+        pub crc_dropped: u64,
+    }
+
+    impl LinkTotals {
+        /// True when no reliability or injection activity was recorded.
+        pub fn is_clean(&self) -> bool {
+            *self == LinkTotals::default()
+        }
+    }
+
+    /// Read the totals accumulated so far.
+    pub fn snapshot() -> LinkTotals {
+        LinkTotals {
+            retransmits: RETRANSMITS.load(Ordering::Relaxed),
+            timeouts: TIMEOUTS.load(Ordering::Relaxed),
+            naks_sent: NAKS_SENT.load(Ordering::Relaxed),
+            dup_frames: DUP_FRAMES.load(Ordering::Relaxed),
+            injected_corrupt: INJECTED_CORRUPT.load(Ordering::Relaxed),
+            injected_drops: INJECTED_DROPS.load(Ordering::Relaxed),
+            injected_stalls: INJECTED_STALLS.load(Ordering::Relaxed),
+            stall_ps: STALL_PS.load(Ordering::Relaxed),
+            crc_dropped: CRC_DROPPED.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Difference between a later snapshot and an earlier one.
+    pub fn delta(later: &LinkTotals, earlier: &LinkTotals) -> LinkTotals {
+        LinkTotals {
+            retransmits: later.retransmits - earlier.retransmits,
+            timeouts: later.timeouts - earlier.timeouts,
+            naks_sent: later.naks_sent - earlier.naks_sent,
+            dup_frames: later.dup_frames - earlier.dup_frames,
+            injected_corrupt: later.injected_corrupt - earlier.injected_corrupt,
+            injected_drops: later.injected_drops - earlier.injected_drops,
+            injected_stalls: later.injected_stalls - earlier.injected_stalls,
+            stall_ps: later.stall_ps - earlier.stall_ps,
+            crc_dropped: later.crc_dropped - earlier.crc_dropped,
+        }
+    }
+
+    pub(super) fn publish(t: &LinkTotals) {
+        if t.is_clean() {
+            return;
+        }
+        RETRANSMITS.fetch_add(t.retransmits, Ordering::Relaxed);
+        TIMEOUTS.fetch_add(t.timeouts, Ordering::Relaxed);
+        NAKS_SENT.fetch_add(t.naks_sent, Ordering::Relaxed);
+        DUP_FRAMES.fetch_add(t.dup_frames, Ordering::Relaxed);
+        INJECTED_CORRUPT.fetch_add(t.injected_corrupt, Ordering::Relaxed);
+        INJECTED_DROPS.fetch_add(t.injected_drops, Ordering::Relaxed);
+        INJECTED_STALLS.fetch_add(t.injected_stalls, Ordering::Relaxed);
+        STALL_PS.fetch_add(t.stall_ps, Ordering::Relaxed);
+        CRC_DROPPED.fetch_add(t.crc_dropped, Ordering::Relaxed);
+    }
+}
+
 /// Datapath counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CardStats {
@@ -206,16 +363,55 @@ pub struct CardStats {
     pub rx_bytes: u64,
     /// Transit packets forwarded by the router.
     pub forwarded: u64,
-    /// Packets dropped on CRC failure.
-    pub crc_errors: u64,
+    /// Data frames replayed by the link layer, all ports combined.
+    pub retransmits: u64,
+    /// Frames lost to CRC failure (kill-switch mode only).
+    pub crc_dropped: u64,
     /// Packets dropped because no registered buffer matched.
     pub rx_unmatched: u64,
+    /// Per-port link-layer counters (six torus directions + loop-back).
+    pub links: [LinkStats; NUM_PORTS],
 }
 
 struct TxJob {
     desc: TxDesc,
     plan: FetchPlan,
     pushed: u64,
+}
+
+/// Transmit side of one port's go-back-N channel.
+#[derive(Debug, Default)]
+struct LinkTxState {
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Lowest unacknowledged sequence number.
+    base: u64,
+    /// Clean (pre-corruption) copies of the unacknowledged frames
+    /// `base..next_seq`, in order. Clones only bump payload refcounts, so
+    /// the replay buffer costs no byte copies.
+    replay: VecDeque<ApePacket>,
+    /// Frames waiting for window credit, with their from-drain flag (a
+    /// from-drain frame owes a `DrainNext` when it finally serializes).
+    pending: VecDeque<(ApePacket, bool)>,
+    /// Timer epoch; bumped whenever the window advances so in-flight
+    /// timer events for the old window are ignored.
+    epoch: u64,
+    /// A timer event for the current epoch is outstanding.
+    timer_live: bool,
+    /// Consecutive barren timeouts (drives exponential backoff).
+    consec_timeouts: u32,
+}
+
+/// Receive side of one port's go-back-N channel.
+#[derive(Debug, Default)]
+struct LinkRxState {
+    /// Next expected sequence number.
+    expect: u64,
+    /// Sequence number we already NAKed (suppresses a NAK storm while a
+    /// burst of in-flight frames behind one lost frame arrives); cleared
+    /// when `expect` advances, so the retransmit timeout remains the
+    /// backstop if the replayed frame is damaged again.
+    nakked: Option<u64>,
 }
 
 /// The APEnet+ card model.
@@ -243,6 +439,15 @@ pub struct Card {
     outstanding_total: u64,
     draining: bool,
     rx_msgs: HashMap<MsgId, (u64, u64)>, // received bytes, lowest dst_vaddr seen
+    link_tx: [LinkTxState; NUM_PORTS],
+    link_rx: [LinkRxState; NUM_PORTS],
+    injectors: [Option<FaultInjector>; NUM_PORTS],
+    /// Any fault source is configured (legacy periodic corruption or an
+    /// injector on some port). When false, no retransmit timers are ever
+    /// armed, so healthy runs schedule zero extra timing-relevant events.
+    fault_active: bool,
+    /// Seeded RNG for the legacy periodic corruption's position/mask.
+    fault_rng: Xoshiro256ss,
     /// Datapath counters.
     pub stats: CardStats,
 }
@@ -251,6 +456,9 @@ impl Card {
     /// Build a card at `coord` on a torus of `dims`.
     pub fn new(coord: Coord, dims: TorusDims, cfg: CardConfig, shared: CardShared) -> Self {
         let fifo = ByteFifo::with_default_watermark(cfg.tx_fifo_bytes);
+        let coord_salt = ((coord.x as u64) << 16) | ((coord.y as u64) << 8) | coord.z as u64;
+        let fault_active = cfg.tx_bit_error_every.is_some();
+        let fault_rng = Xoshiro256ss::seed_from(fault::derive_seed(cfg.fault_seed, coord_salt));
         Card {
             coord,
             dims,
@@ -269,6 +477,11 @@ impl Card {
             outstanding_total: 0,
             draining: false,
             rx_msgs: HashMap::new(),
+            link_tx: std::array::from_fn(|_| LinkTxState::default()),
+            link_rx: std::array::from_fn(|_| LinkRxState::default()),
+            injectors: std::array::from_fn(|_| None),
+            fault_active,
+            fault_rng,
             stats: CardStats::default(),
         }
     }
@@ -276,6 +489,34 @@ impl Card {
     /// Wire the outgoing torus link for `dir`.
     pub fn set_link(&mut self, dir: LinkDir, link: Rc<RefCell<TorusLink>>) {
         self.links_out[dir.index()] = Some(link);
+    }
+
+    /// Attach a fault injector to the transmit side of `port`. Arms the
+    /// retransmit-timer machinery for the whole card.
+    pub fn set_fault_injector(&mut self, port: Port, inj: FaultInjector) {
+        self.fault_active = true;
+        self.injectors[port.index()] = Some(inj);
+    }
+
+    /// The fault injector on `port`, if any.
+    pub fn fault_injector(&self, port: Port) -> Option<&FaultInjector> {
+        self.injectors[port.index()].as_ref()
+    }
+
+    /// True when no datapath or link-layer state is in flight: no TX
+    /// jobs, empty staging and TX FIFOs, every port's replay and pending
+    /// queues drained, and no partially received messages. The chaos
+    /// suite asserts this after every run — leaked state here means lost
+    /// or phantom traffic.
+    pub fn quiesced(&self) -> bool {
+        self.tx_jobs.is_empty()
+            && self.push_wait.is_empty()
+            && self.tx_fifo.is_empty()
+            && self.rx_msgs.is_empty()
+            && self
+                .link_tx
+                .iter()
+                .all(|st| st.replay.is_empty() && st.pending.is_empty())
     }
 
     /// The shared host/PCIe/GPU handles.
@@ -516,21 +757,377 @@ impl Card {
         }
     }
 
-    /// Fault injection: flip a payload bit in every Nth transmitted
-    /// packet when configured (models a marginal torus cable; the
-    /// receiver's CRC must catch it).
+    /// Legacy fault injection: flip a payload bit in every Nth freshly
+    /// transmitted packet when configured (models a marginal cable; the
+    /// receiver's CRC must catch it). Position and mask come from the
+    /// card's seeded fault RNG — a real marginal cable flips arbitrary
+    /// bits, not always the middle one. Applies to loop-back traffic too.
     fn maybe_corrupt(&mut self, mut packet: ApePacket) -> ApePacket {
         if let Some(n) = self.cfg.tx_bit_error_every {
             self.tx_since_fault += 1;
             if self.tx_since_fault >= n && !packet.payload.is_empty() {
                 self.tx_since_fault = 0;
-                let idx = packet.payload.len() / 2;
+                let idx = self.fault_rng.next_below(packet.payload.len() as u64) as usize;
+                let mask = 1u8 << self.fault_rng.next_below(8);
                 // Copy-on-write: only this fragment is duplicated; the
                 // source buffer and sibling fragments stay shared.
-                packet.payload.make_mut()[idx] ^= 0x10;
+                packet.payload.make_mut()[idx] ^= mask;
             }
         }
         packet
+    }
+
+    /// Hand a packet to the link layer of `port`. With retransmission on,
+    /// the frame gets a sequence number and a replay-buffer slot (or
+    /// queues for window credit); with the kill switch thrown it goes on
+    /// the wire raw, exactly like the pre-reliability datapath.
+    ///
+    /// `ready` is the earliest serialization start (`now` from the TX
+    /// FIFO drain, `now + router_forward` for transit packets);
+    /// `from_drain` frames owe a `DrainNext` when they serialize.
+    fn link_send(
+        &mut self,
+        port: Port,
+        packet: ApePacket,
+        ready: SimTime,
+        now: SimTime,
+        from_drain: bool,
+        out: &mut Outbox<CardOut>,
+    ) {
+        if !self.cfg.link_retrans {
+            self.transmit_data(port, 0, packet, ready, now, from_drain, false, out);
+            return;
+        }
+        let pi = port.index();
+        // The window is enforced only while fault injection is armed: on
+        // a fault-free run nothing is ever lost, so holding frames back
+        // buys no reliability but would defer link reservations to
+        // ACK-arrival times and reorder them against competing port
+        // users — shifting golden timing. ACKs still continuously clear
+        // the replay buffer, which stays bounded by the in-flight count.
+        let windowed = self.fault_active;
+        let st = &mut self.link_tx[pi];
+        if windowed
+            && (!st.pending.is_empty() || st.next_seq - st.base >= self.cfg.link_window as u64)
+        {
+            st.pending.push_back((packet, from_drain));
+            return;
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.replay.push_back(packet.clone());
+        self.transmit_data(port, seq, packet, ready, now, from_drain, false, out);
+        self.arm_timer(port, out);
+    }
+
+    /// Put one data frame on the wire: apply fault injection (legacy
+    /// periodic corruption only on fresh transmissions — replays resend
+    /// the clean replay-buffer copy), burn the serialization slot, and
+    /// schedule the arrival unless the frame was dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit_data(
+        &mut self,
+        port: Port,
+        seq: u64,
+        packet: ApePacket,
+        ready: SimTime,
+        now: SimTime,
+        from_drain: bool,
+        is_retrans: bool,
+        out: &mut Outbox<CardOut>,
+    ) {
+        let pi = port.index();
+        let mut wire = if is_retrans {
+            packet
+        } else {
+            self.maybe_corrupt(packet)
+        };
+        let mut ready = ready;
+        let mut dropped = false;
+        if let Some(inj) = self.injectors[pi].as_mut() {
+            let fate = inj.data_frame();
+            if let Some(d) = fate.stall {
+                // A stall delays the serialization start; everything
+                // behind the frame backs up naturally through the link's
+                // busy window (or the loop-back drain).
+                ready += d;
+                self.stats.links[pi].injected_stalls += 1;
+                self.stats.links[pi].stall_ps += d.as_ps();
+            }
+            if fate.drop {
+                dropped = true;
+                self.stats.links[pi].injected_drops += 1;
+            } else if let Some(c) = fate.corrupt {
+                if !wire.payload.is_empty() {
+                    let idx = (c.pos % wire.payload.len() as u64) as usize;
+                    wire.payload.make_mut()[idx] ^= c.mask;
+                    self.stats.links[pi].injected_corrupt += 1;
+                }
+            }
+        }
+        self.stats.links[pi].data_frames += 1;
+        if is_retrans {
+            self.stats.retransmits += 1;
+            self.stats.links[pi].retransmits += 1;
+        }
+        match port {
+            Port::Loopback => {
+                let serialize = Bandwidth::from_gb_per_sec(4).time_for(wire.wire_bytes());
+                let drain_at = ready + serialize;
+                if !dropped {
+                    let arrive = drain_at + self.cfg.loopback_transit;
+                    out.push(
+                        arrive.since(now),
+                        CardOut::ToSelf(CardIn::LinkRx {
+                            port: Port::Loopback,
+                            msg: LinkMsg::Data(LinkFrame { seq, packet: wire }),
+                        }),
+                    );
+                }
+                if from_drain {
+                    out.push(drain_at.since(now), CardOut::ToSelf(CardIn::DrainNext));
+                }
+            }
+            Port::Link(dir) => {
+                let link = self.links_out[dir.index()]
+                    .as_ref()
+                    .expect("torus link wired")
+                    .clone();
+                let slot = link.borrow_mut().reserve(ready, wire.wire_bytes());
+                if !dropped {
+                    out.push(
+                        slot.arrive.since(now),
+                        CardOut::TorusSend {
+                            dir,
+                            msg: LinkMsg::Data(LinkFrame { seq, packet: wire }),
+                        },
+                    );
+                }
+                if from_drain {
+                    out.push(
+                        slot.depart_end.since(now),
+                        CardOut::ToSelf(CardIn::DrainNext),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Emit an ACK/NAK credit on `port`, back toward the sender whose
+    /// data arrives there. Control symbols ride the out-of-band control
+    /// channel: they pay cable (or switch-transit) latency but occupy no
+    /// data wire slots, so healthy-run data timing is untouched.
+    fn send_control(&mut self, port: Port, msg: LinkMsg, out: &mut Outbox<CardOut>) {
+        let pi = port.index();
+        if let Some(inj) = self.injectors[pi].as_mut() {
+            if inj.control_frame() {
+                self.stats.links[pi].injected_drops += 1;
+                return;
+            }
+        }
+        match port {
+            Port::Link(dir) => out.push(self.cfg.link_latency, CardOut::TorusSend { dir, msg }),
+            Port::Loopback => out.push(
+                self.cfg.loopback_transit,
+                CardOut::ToSelf(CardIn::LinkRx {
+                    port: Port::Loopback,
+                    msg,
+                }),
+            ),
+        }
+    }
+
+    /// Arm the retransmit timer of `port` if it has unacknowledged frames
+    /// and no live timer. Timers exist only while fault injection is
+    /// possible: a fault-free run never schedules one, so the reliability
+    /// layer adds zero events to golden-timing runs.
+    fn arm_timer(&mut self, port: Port, out: &mut Outbox<CardOut>) {
+        if !self.fault_active || !self.cfg.link_retrans {
+            return;
+        }
+        let st = &mut self.link_tx[port.index()];
+        if st.timer_live || st.replay.is_empty() {
+            return;
+        }
+        st.timer_live = true;
+        let shift = st.consec_timeouts.min(6);
+        let delay = SimDuration::from_ps(self.cfg.link_rto.as_ps() << shift);
+        out.push(
+            delay,
+            CardOut::ToSelf(CardIn::LinkTimeout {
+                port,
+                epoch: st.epoch,
+            }),
+        );
+    }
+
+    /// Release acknowledged frames `< upto` from the replay buffer.
+    /// Returns true when the window advanced.
+    fn release_acked(&mut self, port: Port, upto: u64) -> bool {
+        let st = &mut self.link_tx[port.index()];
+        if upto <= st.base {
+            return false;
+        }
+        let acked = ((upto - st.base) as usize).min(st.replay.len());
+        for _ in 0..acked {
+            st.replay.pop_front();
+        }
+        st.base += acked as u64;
+        st.consec_timeouts = 0;
+        st.epoch += 1;
+        st.timer_live = false;
+        true
+    }
+
+    /// Cumulative ACK: free replay slots, then let queued frames use the
+    /// new window credit.
+    fn handle_ack(&mut self, port: Port, upto: u64, now: SimTime, out: &mut Outbox<CardOut>) {
+        if !self.cfg.link_retrans {
+            return;
+        }
+        if self.release_acked(port, upto) {
+            self.flush_pending(port, now, out);
+        }
+        self.arm_timer(port, out);
+    }
+
+    /// NAK: the receiver is stuck at `expect`. Treat it as a cumulative
+    /// ACK for everything below, then go-back-N replay the rest.
+    fn handle_nak(&mut self, port: Port, expect: u64, now: SimTime, out: &mut Outbox<CardOut>) {
+        if !self.cfg.link_retrans {
+            return;
+        }
+        {
+            let st = &mut self.link_tx[port.index()];
+            if expect < st.base {
+                return; // stale: already acknowledged past it
+            }
+        }
+        self.release_acked(port, expect);
+        self.replay_window(port, now, out);
+        self.flush_pending(port, now, out);
+        self.arm_timer(port, out);
+    }
+
+    /// Retransmit timer: if the epoch still matches (no progress since
+    /// arming), replay the whole window. Recovers dropped data frames
+    /// *and* dropped ACK/NAK credits.
+    fn handle_timeout(&mut self, port: Port, epoch: u64, now: SimTime, out: &mut Outbox<CardOut>) {
+        let pi = port.index();
+        {
+            let st = &mut self.link_tx[pi];
+            if epoch != st.epoch {
+                return; // stale timer from a since-advanced window
+            }
+            st.timer_live = false;
+            if st.replay.is_empty() {
+                return;
+            }
+            st.consec_timeouts += 1;
+            st.epoch += 1;
+        }
+        self.stats.links[pi].timeouts += 1;
+        self.replay_window(port, now, out);
+        self.arm_timer(port, out);
+    }
+
+    /// Replay every unacknowledged frame of `port`, in sequence order.
+    fn replay_window(&mut self, port: Port, now: SimTime, out: &mut Outbox<CardOut>) {
+        let st = &self.link_tx[port.index()];
+        let base = st.base;
+        let frames: Vec<(u64, ApePacket)> = st
+            .replay
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (base + i as u64, p))
+            .collect();
+        for (seq, p) in frames {
+            self.transmit_data(port, seq, p, now, now, false, true, out);
+        }
+    }
+
+    /// Move frames from the pending queue into freed window slots.
+    fn flush_pending(&mut self, port: Port, now: SimTime, out: &mut Outbox<CardOut>) {
+        let pi = port.index();
+        loop {
+            let st = &mut self.link_tx[pi];
+            if st.pending.is_empty() || st.next_seq - st.base >= self.cfg.link_window as u64 {
+                return;
+            }
+            let (packet, from_drain) = st.pending.pop_front().expect("checked non-empty");
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.replay.push_back(packet.clone());
+            self.transmit_data(port, seq, packet, now, now, from_drain, false, out);
+        }
+    }
+
+    /// A data frame arrived on `port`: verify, sequence-check, ACK/NAK,
+    /// and deliver in-order frames up to the routing layer.
+    fn link_rx_data(
+        &mut self,
+        port: Port,
+        frame: LinkFrame,
+        now: SimTime,
+        out: &mut Outbox<CardOut>,
+    ) {
+        let pi = port.index();
+        if !self.cfg.link_retrans {
+            // Kill-switch mode: the pre-reliability datapath — a CRC
+            // failure drops the packet on the floor.
+            if !frame.packet.verify() {
+                self.stats.crc_dropped += 1;
+                self.stats.links[pi].crc_dropped += 1;
+                return;
+            }
+            self.deliver_up(frame.packet, now, out);
+            return;
+        }
+        if !frame.packet.verify() {
+            self.send_nak(port, out);
+            return;
+        }
+        let rx = &mut self.link_rx[pi];
+        if frame.seq == rx.expect {
+            rx.expect += 1;
+            rx.nakked = None;
+            let upto = rx.expect;
+            self.send_control(port, LinkMsg::Ack { upto }, out);
+            self.deliver_up(frame.packet, now, out);
+        } else if frame.seq < rx.expect {
+            // Duplicate (a replay raced our ACK): discard and re-ACK so
+            // the sender's window still advances. This is the hop-level
+            // exactly-once guarantee.
+            self.stats.links[pi].dup_frames += 1;
+            let upto = self.link_rx[pi].expect;
+            self.send_control(port, LinkMsg::Ack { upto }, out);
+        } else {
+            // Sequence gap: an earlier frame was lost on the wire.
+            self.send_nak(port, out);
+        }
+    }
+
+    /// NAK the current expected sequence number, once per gap.
+    fn send_nak(&mut self, port: Port, out: &mut Outbox<CardOut>) {
+        let pi = port.index();
+        let rx = &mut self.link_rx[pi];
+        let expect = rx.expect;
+        if rx.nakked == Some(expect) {
+            return;
+        }
+        rx.nakked = Some(expect);
+        self.stats.links[pi].naks_sent += 1;
+        self.send_control(port, LinkMsg::Nak { expect }, out);
+    }
+
+    /// Route a link-verified packet: local extraction or transit forward.
+    fn deliver_up(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
+        if packet.dst == self.coord {
+            self.rx_local(packet, now, out);
+        } else {
+            self.forward(packet, now, out);
+        }
     }
 
     fn kick_drain(&mut self, now: SimTime, out: &mut Outbox<CardOut>) {
@@ -549,26 +1146,13 @@ impl Card {
             TxSinkMode::Torus => {
                 if packet.dst == self.coord {
                     // Loop-back through the internal switch.
-                    let serialize = Bandwidth::from_gb_per_sec(4).time_for(packet.wire_bytes());
-                    let transit = self.cfg.loopback_transit + serialize;
-                    out.push(transit, CardOut::ToSelf(CardIn::RxPacket(packet)));
-                    out.push(serialize, CardOut::ToSelf(CardIn::DrainNext));
+                    self.link_send(Port::Loopback, packet, now, now, true, out);
                 } else {
                     let dir = self
                         .dims
                         .next_hop(self.coord, packet.dst)
                         .expect("non-local packet has a route");
-                    let link = self.links_out[dir.index()]
-                        .as_ref()
-                        .expect("torus link wired")
-                        .clone();
-                    let slot = link.borrow_mut().reserve(now, packet.wire_bytes());
-                    let packet = self.maybe_corrupt(packet);
-                    out.push(slot.arrive.since(now), CardOut::TorusSend { dir, packet });
-                    out.push(
-                        slot.depart_end.since(now),
-                        CardOut::ToSelf(CardIn::DrainNext),
-                    );
+                    self.link_send(Port::Link(dir), packet, now, now, true, out);
                 }
             }
         }
@@ -609,12 +1193,10 @@ impl Card {
         }
     }
 
-    /// Handle an extracted packet addressed to this node.
+    /// Handle an extracted packet addressed to this node. The CRC was
+    /// already verified hop-by-hop at link ingress ([`Self::link_rx_data`]),
+    /// so the packet is clean here.
     fn rx_local(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
-        if !packet.verify() {
-            self.stats.crc_errors += 1;
-            return;
-        }
         self.stats.rx_packets += 1;
         let fw = self.shared.firmware.borrow();
         let (entry, bl_cost) = fw.buf_list.lookup(packet.dst_vaddr, packet.len());
@@ -705,14 +1287,14 @@ impl Card {
             .dims
             .next_hop(self.coord, packet.dst)
             .expect("transit packet has a route");
-        let link = self.links_out[dir.index()]
-            .as_ref()
-            .expect("torus link wired")
-            .clone();
-        let slot = link
-            .borrow_mut()
-            .reserve(now + self.cfg.router_forward, packet.wire_bytes());
-        out.push(slot.arrive.since(now), CardOut::TorusSend { dir, packet });
+        self.link_send(
+            Port::Link(dir),
+            packet,
+            now + self.cfg.router_forward,
+            now,
+            false,
+            out,
+        );
     }
 }
 
@@ -792,18 +1374,44 @@ impl Device for Card {
                     }
                 }
                 self.kick_drain(now, out);
-                let jobs: Vec<u32> = self.tx_jobs.keys().copied().collect();
+                // Sorted: HashMap iteration order is seeded per process,
+                // and the fetch-issue order below contends for the PCIe
+                // fabric — unsorted it leaks hasher state into timing.
+                let mut jobs: Vec<u32> = self.tx_jobs.keys().copied().collect();
+                jobs.sort_unstable();
                 for j in jobs {
                     self.issue_fetches(j, now, out);
                 }
             }
-            CardIn::RxPacket(packet) => {
-                if packet.dst == self.coord {
-                    self.rx_local(packet, now, out);
-                } else {
-                    self.forward(packet, now, out);
-                }
+            CardIn::LinkRx { port, msg } => match msg {
+                LinkMsg::Data(frame) => self.link_rx_data(port, frame, now, out),
+                LinkMsg::Ack { upto } => self.handle_ack(port, upto, now, out),
+                LinkMsg::Nak { expect } => self.handle_nak(port, expect, now, out),
+            },
+            CardIn::LinkTimeout { port, epoch } => {
+                self.handle_timeout(port, epoch, now, out);
             }
         }
+    }
+}
+
+impl Drop for Card {
+    fn drop(&mut self) {
+        // Publish this card's lifetime reliability counters into the
+        // process-wide totals (see [`link_totals`]). Clean cards publish
+        // nothing, so fault-free runs touch no shared state.
+        let mut t = link_totals::LinkTotals::default();
+        for l in &self.stats.links {
+            t.retransmits += l.retransmits;
+            t.timeouts += l.timeouts;
+            t.naks_sent += l.naks_sent;
+            t.dup_frames += l.dup_frames;
+            t.injected_corrupt += l.injected_corrupt;
+            t.injected_drops += l.injected_drops;
+            t.injected_stalls += l.injected_stalls;
+            t.stall_ps += l.stall_ps;
+            t.crc_dropped += l.crc_dropped;
+        }
+        link_totals::publish(&t);
     }
 }

@@ -94,10 +94,35 @@ pub struct CardConfig {
     /// Completion-notification cost on the receive side (writing the RX
     /// event queue entry the host polls).
     pub rx_notify: SimDuration,
-    /// Fault injection: flip one payload bit in every Nth packet put on a
-    /// torus link (None = healthy links). The receiving card's CRC check
-    /// must catch and drop every corrupted packet.
+    /// Fault injection: flip one payload bit (random position and mask,
+    /// drawn from the card's seeded fault RNG) in every Nth data frame put
+    /// on a link port — loop-back included (None = healthy links). The
+    /// link layer must catch and retransmit every corrupted frame.
     pub tx_bit_error_every: Option<u32>,
+    /// Link-level go-back-N retransmission (the reliability layer of the
+    /// APElink channels: per-port sequence numbers, a bounded replay
+    /// buffer, ACK/NAK credits and a retransmit timeout). Disabling it
+    /// restores drop-on-CRC-failure — the chaos suite's kill-switch check
+    /// proves the harness detects exactly that bug.
+    pub link_retrans: bool,
+    /// Go-back-N window: maximum unacknowledged data frames per port,
+    /// enforced while fault injection is armed. It bounds replay-buffer
+    /// memory and the size of go-back-N recovery bursts. On fault-free
+    /// runs the window is not enforced (nothing can be lost, and
+    /// deferring frames to ACK-arrival times would shift golden timing);
+    /// ACK credits still continuously clear the replay buffer, which
+    /// stays bounded by the in-flight frame count.
+    pub link_window: u32,
+    /// Retransmit timeout per port: recovers a dropped last-frame or a
+    /// dropped ACK/NAK when no later traffic can trigger a NAK. Timers are
+    /// armed only while fault injection is active, so healthy runs
+    /// schedule no timer events at all. Backs off exponentially on
+    /// consecutive barren timeouts.
+    pub link_rto: SimDuration,
+    /// Seed of the card's fault RNG (corruption position/mask draws for
+    /// `tx_bit_error_every`); mixed with the card's coordinates so every
+    /// card draws an independent stream.
+    pub fault_seed: u64,
 }
 
 impl Default for CardConfig {
@@ -129,6 +154,10 @@ impl CardConfig {
             tx_gpu_hw_setup_v3: SimDuration::from_ns(150),
             rx_notify: SimDuration::from_ns(150),
             tx_bit_error_every: None,
+            link_retrans: true,
+            link_window: 32,
+            link_rto: SimDuration::from_us(100),
+            fault_seed: 0xA9E0_5EED,
         }
     }
 
@@ -199,6 +228,16 @@ mod tests {
     #[test]
     fn tx_fifo_is_32k() {
         assert_eq!(CardConfig::default().tx_fifo_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn link_reliability_defaults() {
+        let c = CardConfig::default();
+        assert!(c.link_retrans, "retransmission on by default");
+        assert!(c.link_window >= 2);
+        // The RTO must exceed a full window's serialization time at
+        // 28 Gbps (~19 us) or healthy-but-slow links would time out.
+        assert!(c.link_rto > SimDuration::from_us(20));
     }
 
     #[test]

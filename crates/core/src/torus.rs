@@ -5,7 +5,93 @@
 //! bandwidth/latency benchmarks, "Link 20Gbps" for the HSG runs (the
 //! torus transceivers were clocked lower on that setup).
 
+use crate::coord::LinkDir;
+use crate::packet::ApePacket;
 use apenet_sim::{Bandwidth, SimDuration, SimTime};
+
+/// Number of link-layer ports per card: six torus directions plus the
+/// internal loop-back path.
+pub const NUM_PORTS: usize = 7;
+
+/// One ingress/egress port of a card's link layer.
+///
+/// The go-back-N machinery treats the internal loop-back path as a
+/// seventh port so that fault injection (and recovery) covers it too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// A torus cable direction.
+    Link(LinkDir),
+    /// The internal switch loop-back path.
+    Loopback,
+}
+
+impl Port {
+    /// All seven ports, torus directions first.
+    pub const ALL: [Port; NUM_PORTS] = [
+        Port::Link(LinkDir::Xp),
+        Port::Link(LinkDir::Xm),
+        Port::Link(LinkDir::Yp),
+        Port::Link(LinkDir::Ym),
+        Port::Link(LinkDir::Zp),
+        Port::Link(LinkDir::Zm),
+        Port::Loopback,
+    ];
+
+    /// Dense index: 0–5 for the torus directions, 6 for loop-back.
+    pub fn index(self) -> usize {
+        match self {
+            Port::Link(d) => d.index(),
+            Port::Loopback => 6,
+        }
+    }
+
+    /// The port a peer receives on when we transmit on this one (the
+    /// opposite direction; loop-back is its own reverse).
+    pub fn reverse(self) -> Port {
+        match self {
+            Port::Link(d) => Port::Link(d.opposite()),
+            Port::Loopback => Port::Loopback,
+        }
+    }
+}
+
+/// A sequenced data frame: one packet plus its per-(card, port) link
+/// sequence number. The number rides inside the existing 32-byte packet
+/// overhead, so framing adds no wire bytes.
+#[derive(Debug, Clone)]
+pub struct LinkFrame {
+    /// Link-level sequence number (per sender, per port).
+    pub seq: u64,
+    /// The packet.
+    pub packet: ApePacket,
+}
+
+/// What travels on a link: data frames in the data channel, ACK/NAK
+/// credits as out-of-band control symbols (the APElink control channel),
+/// which pay cable latency but occupy no data wire slots.
+#[derive(Debug, Clone)]
+pub enum LinkMsg {
+    /// A sequenced data frame.
+    Data(LinkFrame),
+    /// Cumulative acknowledgement: all frames below `upto` received.
+    Ack {
+        /// First unacknowledged sequence number.
+        upto: u64,
+    },
+    /// Negative acknowledgement: receiver is still waiting for `expect`
+    /// (CRC failure or sequence gap); go-back-N from there.
+    Nak {
+        /// The sequence number the receiver expects next.
+        expect: u64,
+    },
+}
+
+impl LinkMsg {
+    /// True for data frames (false for control symbols).
+    pub fn is_data(&self) -> bool {
+        matches!(self, LinkMsg::Data(_))
+    }
+}
 
 /// One direction of one torus cable between two adjacent cards.
 #[derive(Debug, Clone)]
@@ -111,6 +197,20 @@ mod tests {
         let fast = TorusLink::paper_28g();
         let slow = TorusLink::paper_20g();
         assert!(slow.rate() < fast.rate());
+    }
+
+    #[test]
+    fn port_indices_are_dense_and_reversible() {
+        for (i, p) in Port::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(p.reverse().reverse(), *p);
+        }
+        assert_eq!(Port::Loopback.reverse(), Port::Loopback);
+        assert_eq!(
+            Port::Link(LinkDir::Xp).reverse(),
+            Port::Link(LinkDir::Xm),
+            "reverse of a torus port is the opposite direction"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct CompletionQueue {
     tx_done: HashMap<MsgId, SimTime>,
     delivered_bytes: u64,
     last_delivery: Option<SimTime>,
+    duplicates: u64,
 }
 
 impl CompletionQueue {
@@ -24,8 +25,15 @@ impl CompletionQueue {
         Self::default()
     }
 
-    /// Record an RX completion.
+    /// Record an RX completion. A second completion for the same message
+    /// keeps the first record and bumps [`CompletionQueue::duplicate_count`]
+    /// — the chaos suite's exactly-once proof rests on that counter
+    /// staying at zero.
     pub fn push_delivered(&mut self, msg: MsgId, at: SimTime, len: u64) {
+        if self.delivered.contains_key(&msg) {
+            self.duplicates += 1;
+            return;
+        }
         self.delivered.insert(msg, (at, len));
         self.delivered_bytes += len;
         self.last_delivery = Some(self.last_delivery.map_or(at, |t| t.max(at)));
@@ -66,12 +74,19 @@ impl CompletionQueue {
         self.tx_done.len()
     }
 
+    /// Number of repeat deliveries observed for already-completed
+    /// messages (0 unless the exactly-once guarantee is broken).
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
     /// Drop all records (between benchmark repetitions).
     pub fn clear(&mut self) {
         self.delivered.clear();
         self.tx_done.clear();
         self.delivered_bytes = 0;
         self.last_delivery = None;
+        self.duplicates = 0;
     }
 }
 
@@ -102,5 +117,20 @@ mod tests {
         cq.clear();
         assert_eq!(cq.delivered_count(), 0);
         assert_eq!(cq.last_delivery(), None);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_counted_not_recorded() {
+        let mut cq = CompletionQueue::new();
+        let t1 = SimTime::ZERO + SimDuration::from_us(1);
+        let t2 = SimTime::ZERO + SimDuration::from_us(2);
+        cq.push_delivered(msg(0), t1, 100);
+        cq.push_delivered(msg(0), t2, 100);
+        assert_eq!(cq.duplicate_count(), 1);
+        assert_eq!(cq.delivered_count(), 1);
+        assert_eq!(cq.delivered_bytes(), 100, "duplicate bytes not counted");
+        assert_eq!(cq.delivery_time(msg(0)), Some(t1), "first record kept");
+        cq.clear();
+        assert_eq!(cq.duplicate_count(), 0);
     }
 }

@@ -6,7 +6,130 @@
 //! the host-CPU time each API call occupies — the LogP *overhead*
 //! parameter that Fig. 10 plots.
 
-use apenet_sim::SimDuration;
+use apenet_core::packet::MsgId;
+use apenet_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Completion-watchdog tuning.
+///
+/// The watchdog is the driver's last line of defence above the link
+/// layer: if a PUT's completion has not arrived within `timeout`, the
+/// message is handed back to the application for re-issue. Link-level
+/// go-back-N recovers every injected fault long before this deadline, so
+/// the [`Watchdog::fired`] counter doubles as a health check — the chaos
+/// suite asserts it stays at zero while retransmission is enabled.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Time from submission (or last re-issue) to the first alarm.
+    pub timeout: SimDuration,
+    /// Cap on the exponential backoff: the k-th alarm for one message
+    /// waits `timeout << min(k, backoff_cap)`.
+    pub backoff_cap: u32,
+    /// Give up re-issuing a message after this many alarms.
+    pub max_attempts: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            // Well above the link RTO (100 us default) times a few
+            // back-offs, so the card always gets to recover first.
+            timeout: SimDuration::from_ms(20),
+            backoff_cap: 4,
+            max_attempts: 6,
+        }
+    }
+}
+
+/// One armed message.
+#[derive(Debug, Clone, Copy)]
+struct WatchEntry {
+    deadline: SimTime,
+    alarms: u32,
+}
+
+/// Driver-level completion watchdog.
+///
+/// Passive and deterministic: the owner arms a message when it submits a
+/// PUT, disarms it on completion, and polls [`Watchdog::expired`] from
+/// its wake-ups. Entries live in a `BTreeMap` so expiry scans visit
+/// messages in `MsgId` order regardless of insertion history.
+#[derive(Debug, Default, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    armed: BTreeMap<MsgId, WatchEntry>,
+    /// Total alarms raised (0 on every healthy run).
+    pub fired: u64,
+    /// Messages abandoned after `max_attempts` alarms.
+    pub gave_up: u64,
+}
+
+impl Watchdog {
+    /// A watchdog with the given tuning.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            armed: BTreeMap::new(),
+            fired: 0,
+            gave_up: 0,
+        }
+    }
+
+    /// Start (or restart) the clock for `msg`.
+    pub fn arm(&mut self, msg: MsgId, now: SimTime) {
+        self.armed.insert(
+            msg,
+            WatchEntry {
+                deadline: now + self.cfg.timeout,
+                alarms: 0,
+            },
+        );
+    }
+
+    /// Completion arrived: stop watching `msg`.
+    pub fn disarm(&mut self, msg: &MsgId) {
+        self.armed.remove(msg);
+    }
+
+    /// Messages still awaiting completion.
+    pub fn outstanding(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Earliest deadline among armed messages — the time to schedule the
+    /// next wake-up for (None when nothing is armed).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.armed.values().map(|e| e.deadline).min()
+    }
+
+    /// Collect every message whose deadline has passed, re-arming each
+    /// with exponentially backed-off deadlines. The caller re-issues the
+    /// returned messages; ones past `max_attempts` are dropped from the
+    /// watch list and counted in [`Watchdog::gave_up`] instead.
+    pub fn expired(&mut self, now: SimTime) -> Vec<MsgId> {
+        let due: Vec<MsgId> = self
+            .armed
+            .iter()
+            .filter(|(_, e)| e.deadline <= now)
+            .map(|(&m, _)| m)
+            .collect();
+        let mut out = Vec::new();
+        for msg in due {
+            let e = self.armed.get_mut(&msg).expect("just listed");
+            e.alarms += 1;
+            self.fired += 1;
+            if e.alarms >= self.cfg.max_attempts {
+                self.armed.remove(&msg);
+                self.gave_up += 1;
+                continue;
+            }
+            let shift = e.alarms.min(self.cfg.backoff_cap);
+            e.deadline = now + SimDuration::from_ps(self.cfg.timeout.as_ps() << shift);
+            out.push(msg);
+        }
+        out
+    }
+}
 
 /// Host-side cost constants.
 #[derive(Debug, Clone)]
@@ -27,6 +150,8 @@ pub struct DriverConfig {
     pub pointer_query: SimDuration,
     /// Host CPU time to reap one completion event.
     pub completion_poll: SimDuration,
+    /// Completion-watchdog tuning.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for DriverConfig {
@@ -38,6 +163,7 @@ impl Default for DriverConfig {
             reg_cache_hit: SimDuration::from_ns(200),
             pointer_query: SimDuration::from_us(3),
             completion_poll: SimDuration::from_ns(250),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -55,5 +181,71 @@ mod tests {
             d.pointer_query > d.put_overhead,
             "the flag exists to skip this"
         );
+        // The watchdog must sit far above the link RTO so link-level
+        // recovery always gets to finish first.
+        assert!(d.watchdog.timeout > SimDuration::from_ms(1));
+    }
+
+    #[test]
+    fn watchdog_arms_fires_and_backs_off() {
+        use apenet_sim::SimTime;
+        let msg = |seq| MsgId { src_rank: 0, seq };
+        let cfg = WatchdogConfig {
+            timeout: SimDuration::from_us(10),
+            backoff_cap: 2,
+            max_attempts: 4,
+        };
+        let mut wd = Watchdog::new(cfg);
+        let t0 = SimTime::ZERO;
+        wd.arm(msg(0), t0);
+        wd.arm(msg(1), t0);
+        assert_eq!(wd.outstanding(), 2);
+        assert_eq!(wd.next_deadline(), Some(t0 + SimDuration::from_us(10)));
+
+        // Completion before the deadline: no alarm ever fires.
+        wd.disarm(&msg(1));
+        assert!(wd.expired(t0 + SimDuration::from_us(9)).is_empty());
+        assert_eq!(wd.fired, 0);
+
+        // First alarm at the deadline; backoff doubles each time up to
+        // the cap (10 << 1, << 2, << 2 ...).
+        let t1 = t0 + SimDuration::from_us(10);
+        assert_eq!(wd.expired(t1), vec![msg(0)]);
+        assert_eq!(wd.fired, 1);
+        assert_eq!(wd.next_deadline(), Some(t1 + SimDuration::from_us(20)));
+        let t2 = t1 + SimDuration::from_us(20);
+        assert_eq!(wd.expired(t2), vec![msg(0)]);
+        assert_eq!(wd.next_deadline(), Some(t2 + SimDuration::from_us(40)));
+
+        // Alarms 3 and 4: the 4th hits max_attempts and gives up.
+        let t3 = t2 + SimDuration::from_us(40);
+        assert_eq!(wd.expired(t3), vec![msg(0)]);
+        let t4 = t3 + SimDuration::from_us(40);
+        assert!(wd.expired(t4).is_empty(), "given up, not re-issued");
+        assert_eq!(wd.gave_up, 1);
+        assert_eq!(wd.outstanding(), 0);
+        assert_eq!(wd.fired, 4);
+    }
+
+    #[test]
+    fn rearming_resets_the_clock() {
+        use apenet_sim::SimTime;
+        let msg = MsgId {
+            src_rank: 2,
+            seq: 7,
+        };
+        let mut wd = Watchdog::new(WatchdogConfig {
+            timeout: SimDuration::from_us(5),
+            backoff_cap: 1,
+            max_attempts: 10,
+        });
+        let t0 = SimTime::ZERO;
+        wd.arm(msg, t0);
+        let t1 = t0 + SimDuration::from_us(5);
+        assert_eq!(wd.expired(t1).len(), 1);
+        // The owner re-issued and re-armed: alarms start over.
+        wd.arm(msg, t1);
+        assert_eq!(wd.next_deadline(), Some(t1 + SimDuration::from_us(5)));
+        assert!(wd.expired(t1 + SimDuration::from_us(4)).is_empty());
     }
 }

@@ -1,0 +1,265 @@
+//! Composable, seeded fault injection for channel models.
+//!
+//! A [`FaultInjector`] sits on the transmit side of one channel (a torus
+//! link direction, the loop-back path, …) and decides, per frame, whether
+//! to corrupt it (a random bit at a random payload position), drop it
+//! outright, or stall the channel for a window before it goes out. All
+//! decisions come from an in-tree [`Xoshiro256ss`] stream, so a given
+//! `(spec, seed)` pair produces the same fault schedule forever — chaos
+//! tests replay exactly, and parallel sweeps stay byte-identical.
+//!
+//! The injector is deliberately engine-agnostic: it draws verdicts, the
+//! owning channel model applies them (flips the bit, eats the frame,
+//! delays the ready time) and accounts the damage in its own stats.
+
+use crate::rng::{SplitMix64, Xoshiro256ss};
+use crate::SimDuration;
+
+/// Fault rates and magnitudes of one channel.
+///
+/// Rates are per-frame probabilities in `[0, 1]`; a zeroed spec injects
+/// nothing (see [`FaultSpec::is_noop`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a data frame has one payload bit flipped in flight.
+    pub corrupt_rate: f64,
+    /// Probability a frame (data or control symbol) is lost entirely.
+    pub drop_rate: f64,
+    /// Probability a data frame first hits a channel stall window.
+    pub stall_rate: f64,
+    /// Shortest stall window.
+    pub stall_min: SimDuration,
+    /// Longest stall window.
+    pub stall_max: SimDuration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            corrupt_rate: 0.0,
+            drop_rate: 0.0,
+            stall_rate: 0.0,
+            stall_min: SimDuration::from_us(1),
+            stall_max: SimDuration::from_us(20),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Corruption only, at the given per-frame rate.
+    pub fn corrupt(rate: f64) -> Self {
+        FaultSpec {
+            corrupt_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Whole-frame loss only, at the given per-frame rate.
+    pub fn drop(rate: f64) -> Self {
+        FaultSpec {
+            drop_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// The full chaos menu: corruption + drop + stalls, each at `rate`.
+    pub fn chaos(rate: f64) -> Self {
+        FaultSpec {
+            corrupt_rate: rate,
+            drop_rate: rate,
+            stall_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// True when this spec can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.corrupt_rate <= 0.0 && self.drop_rate <= 0.0 && self.stall_rate <= 0.0
+    }
+}
+
+/// A single-bit payload corruption: flip `1 << bit` at byte
+/// `pos % payload_len` (the caller reduces `pos`, since the injector does
+/// not know the frame length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corruption {
+    /// Unreduced byte position; take it modulo the payload length.
+    pub pos: u64,
+    /// The flipped bit, always non-zero.
+    pub mask: u8,
+}
+
+/// The injector's verdict for one data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameFate {
+    /// Stall the channel this long before the frame may start.
+    pub stall: Option<SimDuration>,
+    /// Flip a payload bit.
+    pub corrupt: Option<Corruption>,
+    /// Lose the frame entirely (it still burns its wire slot).
+    pub drop: bool,
+}
+
+/// Running totals of injected damage on one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data frames corrupted.
+    pub corrupted: u64,
+    /// Frames dropped (data and control).
+    pub dropped: u64,
+    /// Stall windows inserted.
+    pub stalls: u64,
+    /// Total stalled time in picoseconds.
+    pub stall_ps: u64,
+}
+
+/// A seeded per-channel fault source.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    rng: Xoshiro256ss,
+    /// Damage injected so far.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector following `spec`, drawing from stream `seed`.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        FaultInjector {
+            spec,
+            rng: Xoshiro256ss::seed_from(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configured spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Judge one data frame. Draw order is fixed (stall, drop, corrupt)
+    /// so schedules are stable under replay.
+    pub fn data_frame(&mut self) -> FrameFate {
+        let mut fate = FrameFate::default();
+        if self.spec.stall_rate > 0.0 && self.rng.chance(self.spec.stall_rate) {
+            let lo = self.spec.stall_min.as_ps();
+            let hi = self.spec.stall_max.as_ps().max(lo);
+            let d = SimDuration::from_ps(self.rng.range_u64(lo, hi));
+            self.stats.stalls += 1;
+            self.stats.stall_ps += d.as_ps();
+            fate.stall = Some(d);
+        }
+        if self.spec.drop_rate > 0.0 && self.rng.chance(self.spec.drop_rate) {
+            self.stats.dropped += 1;
+            fate.drop = true;
+            return fate;
+        }
+        if self.spec.corrupt_rate > 0.0 && self.rng.chance(self.spec.corrupt_rate) {
+            let pos = self.rng.next_u64();
+            let mask = 1u8 << self.rng.next_below(8);
+            self.stats.corrupted += 1;
+            fate.corrupt = Some(Corruption { pos, mask });
+        }
+        fate
+    }
+
+    /// Judge one control symbol (ACK/NAK): control channels only lose
+    /// frames — corruption of a control symbol is modelled as a loss.
+    pub fn control_frame(&mut self) -> bool {
+        if self.spec.drop_rate > 0.0 && self.rng.chance(self.spec.drop_rate) {
+            self.stats.dropped += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// Derive an independent child seed from `(base, salt)` — used to give
+/// every (card, port) pair its own stream from one cluster-level seed.
+pub fn derive_seed(base: u64, salt: u64) -> u64 {
+    let mut sm = SplitMix64::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_spec_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultSpec::default(), 7);
+        for _ in 0..1000 {
+            assert_eq!(inj.data_frame(), FrameFate::default());
+            assert!(!inj.control_frame());
+        }
+        assert_eq!(inj.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn schedules_replay_exactly() {
+        let spec = FaultSpec::chaos(0.2);
+        let mut a = FaultInjector::new(spec, 42);
+        let mut b = FaultInjector::new(spec, 42);
+        for _ in 0..500 {
+            assert_eq!(a.data_frame(), b.data_frame());
+            assert_eq!(a.control_frame(), b.control_frame());
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec::chaos(0.2);
+        let mut a = FaultInjector::new(spec, 1);
+        let mut b = FaultInjector::new(spec, 2);
+        let fa: Vec<FrameFate> = (0..200).map(|_| a.data_frame()).collect();
+        let fb: Vec<FrameFate> = (0..200).map(|_| b.data_frame()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let mut inj = FaultInjector::new(FaultSpec::chaos(0.05), 9);
+        for _ in 0..20_000 {
+            inj.data_frame();
+        }
+        // 5% of 20k, loose bounds (drop draws happen after stall draws,
+        // corrupt draws only on undropped frames).
+        assert!((600..1400).contains(&inj.stats.stalls), "{:?}", inj.stats);
+        assert!((600..1400).contains(&inj.stats.dropped), "{:?}", inj.stats);
+        assert!(inj.stats.corrupted > 500, "{:?}", inj.stats);
+    }
+
+    #[test]
+    fn corruption_masks_are_single_nonzero_bits() {
+        let mut inj = FaultInjector::new(FaultSpec::corrupt(1.0), 3);
+        for _ in 0..200 {
+            let fate = inj.data_frame();
+            let c = fate.corrupt.expect("rate 1.0 always corrupts");
+            assert_eq!(c.mask.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn stall_durations_stay_in_range() {
+        let spec = FaultSpec {
+            stall_rate: 1.0,
+            stall_min: SimDuration::from_us(2),
+            stall_max: SimDuration::from_us(5),
+            ..FaultSpec::default()
+        };
+        let mut inj = FaultInjector::new(spec, 11);
+        for _ in 0..200 {
+            let d = inj.data_frame().stall.expect("rate 1.0 always stalls");
+            assert!(d >= SimDuration::from_us(2) && d <= SimDuration::from_us(5));
+        }
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let s = derive_seed(123, 0);
+        let t = derive_seed(123, 1);
+        assert_ne!(s, t);
+        assert_eq!(s, derive_seed(123, 0));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod bytes;
 pub mod check;
 pub mod engine;
+pub mod fault;
 pub mod fifo;
 pub mod rate;
 pub mod rng;

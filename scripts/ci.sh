@@ -16,4 +16,8 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> chaos soak (APENET_CHAOS_CASES=${APENET_CHAOS_CASES:-512} seeded fault schedules)"
+APENET_CHAOS_CASES="${APENET_CHAOS_CASES:-512}" \
+    cargo test --release --offline -q -p apenet-cluster --test chaos
+
 echo "==> ci.sh: all green"

@@ -182,11 +182,7 @@ fn many_messages_keep_order_per_flow() {
     }
 }
 
-#[test]
-fn fault_injection_is_caught_by_crc() {
-    // A marginal link flips a bit in every 3rd packet; the receiving
-    // card's CRC must drop exactly those packets (messages stay
-    // incomplete), while clean messages keep flowing.
+fn run_faulty(link_retrans: bool) -> (Deliveries, apenet::cluster::cluster::Cluster) {
     use apenet::cluster::cluster::ClusterBuilder;
     use apenet::cluster::presets::cluster_i_default;
     let deliveries: Deliveries = Rc::new(RefCell::new(Vec::new()));
@@ -197,6 +193,7 @@ fn fault_injection_is_caught_by_crc() {
         .collect();
     let mut cfg = cluster_i_default();
     cfg.card.tx_bit_error_every = Some(3);
+    cfg.card.link_retrans = link_retrans;
     let programs: Vec<Box<dyn HostProgram>> = (0..2)
         .map(|r| {
             Box::new(Script {
@@ -209,11 +206,51 @@ fn fault_injection_is_caught_by_crc() {
         .collect();
     let mut cluster = ClusterBuilder::new(TorusDims::new(2, 1, 1), cfg).build(programs);
     cluster.run();
-    let delivered = deliveries.borrow().len();
+    (deliveries, cluster)
+}
+
+#[test]
+fn fault_injection_is_recovered_by_link_retransmission() {
+    // A marginal link flips a bit in every 3rd packet. The receiving
+    // card's CRC catches each one and NAKs; go-back-N replays from the
+    // sender's clean replay buffer, so every message still arrives
+    // exactly once with intact bytes.
+    let (deliveries, cluster) = run_faulty(true);
+    assert_eq!(deliveries.borrow().len(), 6, "all messages delivered");
+    let tx_stats = cluster.card(0).card().stats;
     let rx_stats = cluster.card(1).card().stats;
-    assert_eq!(rx_stats.crc_errors, 4, "every corrupted packet dropped");
-    assert_eq!(delivered, 2, "only the untouched messages complete");
-    // The delivered ones carry intact data.
+    assert!(
+        tx_stats.retransmits >= 4,
+        "each of the 4 corrupted frames forces at least one replay, got {}",
+        tx_stats.retransmits
+    );
+    assert_eq!(rx_stats.crc_dropped, 0, "nothing is dropped on the floor");
+    assert!(rx_stats.links.iter().any(|l| l.naks_sent > 0));
+    for (_, addr, len, _) in deliveries.borrow().iter() {
+        let got = cluster.nodes[1].cuda[0]
+            .borrow_mut()
+            .mem
+            .read_vec(*addr, *len)
+            .unwrap();
+        let expect: Vec<u8> = (0..*len).map(|i| (i % 253) as u8).collect();
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn fault_injection_without_retransmission_loses_messages() {
+    // Kill switch thrown: the pre-reliability datapath. The CRC still
+    // catches every corrupted packet, but they are simply dropped —
+    // their messages never complete.
+    let (deliveries, cluster) = run_faulty(false);
+    let rx_stats = cluster.card(1).card().stats;
+    assert_eq!(rx_stats.crc_dropped, 4, "every corrupted packet dropped");
+    assert_eq!(rx_stats.retransmits, 0);
+    assert_eq!(
+        deliveries.borrow().len(),
+        2,
+        "only the untouched messages complete"
+    );
     for (_, addr, len, _) in deliveries.borrow().iter() {
         let got = cluster.nodes[1].cuda[0]
             .borrow_mut()
