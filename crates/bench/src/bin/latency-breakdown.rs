@@ -1,0 +1,6 @@
+//! Regenerates the per-stage latency decomposition from span traces
+//! (see `apenet_bench::figs::latency_breakdown`).
+
+fn main() {
+    apenet_bench::figs::latency_breakdown::run();
+}

@@ -29,27 +29,31 @@ fn jobs() -> Vec<(&'static str, fn())> {
         ("bar1_ablation", figs::bar1_ablation::run),
         ("bidir", figs::bidir::run),
         ("chaos_sweep", figs::chaos_sweep::run),
+        ("latency_breakdown", figs::latency_breakdown::run),
     ]
 }
 
-/// Render one [`link_totals`] snapshot as a JSON object. Every figure of
-/// the paper runs on clean links, so only the chaos sweep contributes:
-/// with it excluded (or faults off) every field is zero.
-fn link_json(t: &apenet_core::card::link_totals::LinkTotals) -> String {
+/// Render the link-reliability counters of a registry snapshot as a JSON
+/// object. Every figure of the paper runs on clean links, so only the
+/// chaos sweep contributes: with it excluded (or faults off) every field
+/// is zero and absent ids read as zero.
+fn link_json(t: &apenet_obs::CounterSnapshot) -> String {
+    use apenet_core::card::metrics as lm;
+    let clean = lm::ALL.iter().all(|id| t.get(id) == 0);
     format!(
         "{{\"retransmits\": {}, \"timeouts\": {}, \"naks\": {}, \"dup_frames\": {}, \
          \"crc_dropped\": {}, \"injected_corrupt\": {}, \"injected_drops\": {}, \
          \"injected_stalls\": {}, \"stall_ms\": {:.3}, \"clean\": {}}}",
-        t.retransmits,
-        t.timeouts,
-        t.naks_sent,
-        t.dup_frames,
-        t.crc_dropped,
-        t.injected_corrupt,
-        t.injected_drops,
-        t.injected_stalls,
-        t.stall_ps as f64 * 1e-9,
-        t.is_clean(),
+        t.get(lm::RETRANSMITS),
+        t.get(lm::TIMEOUTS),
+        t.get(lm::NAKS_SENT),
+        t.get(lm::DUP_FRAMES),
+        t.get(lm::CRC_DROPPED),
+        t.get(lm::INJECTED_CORRUPT),
+        t.get(lm::INJECTED_DROPS),
+        t.get(lm::INJECTED_STALLS),
+        t.get(lm::STALL_PS) as f64 * 1e-9,
+        clean,
     )
 }
 
@@ -70,11 +74,13 @@ fn run_all(tag: &str) -> (f64, u64) {
 }
 
 fn main() {
-    use apenet_core::card::link_totals;
     let threads = sweep::threads();
-    let links0 = link_totals::snapshot();
+    // Cards publish their lifetime link counters into the process-wide
+    // registry on drop; the delta across the parallel pass is exactly
+    // what this run contributed.
+    let links0 = apenet_obs::global().counters();
     let (par_s, par_ev) = run_all("parallel");
-    let links = link_totals::delta(&link_totals::snapshot(), &links0);
+    let links = apenet_obs::global().counters().delta_since(&links0);
     let par_eps = par_ev as f64 / par_s.max(1e-9);
     eprintln!(
         "[repro-all] parallel ({threads} threads): {par_ev} events in {par_s:.1}s \

@@ -1,0 +1,44 @@
+//! Capture a two-node G-G RDMA ping-pong with span tracing enabled and
+//! export it as Chrome/Perfetto `trace_event` JSON
+//! (`results/trace_pingpong.json`; open in <https://ui.perfetto.dev> or
+//! `chrome://tracing`). Exits non-zero if the export fails to parse as
+//! JSON or its slices do not nest — this is the CI smoke test for the
+//! exporter.
+
+use apenet_bench::results_dir;
+use apenet_cluster::harness::{pingpong_instrumented, BufSide};
+use apenet_cluster::presets::cluster_i_default;
+use apenet_obs::perfetto;
+
+fn main() {
+    let (half_rtt, records) = pingpong_instrumented(
+        cluster_i_default(),
+        BufSide::Gpu,
+        BufSide::Gpu,
+        4096,
+        4,
+        false,
+    );
+    let events = perfetto::export(&records);
+    let slices = match perfetto::validate_nesting(&events) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("[trace-export] FAIL: slices do not nest: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = perfetto::to_json(&events);
+    if let Err(e) = perfetto::json_sanity(&json) {
+        eprintln!("[trace-export] FAIL: export is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    let path = results_dir().join("trace_pingpong.json");
+    std::fs::write(&path, &json).expect("write trace_pingpong.json");
+    eprintln!(
+        "[trace-export] {} trace records -> {} events ({slices} slices, nesting OK), \
+         half RTT {half_rtt} -> {}",
+        records.len(),
+        events.len(),
+        path.display()
+    );
+}

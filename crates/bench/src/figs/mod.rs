@@ -13,6 +13,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod latency_breakdown;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -18,6 +18,8 @@
 //! | `fig11` | HSG speed-up for L = 128/256/512 × P2P mode |
 //! | `table4` | BFS TEPS strong scaling |
 //! | `fig12` | BFS per-task compute/communication break-down |
+//! | `latency-breakdown` | per-stage latency decomposition from span traces |
+//! | `trace-export` | Perfetto `trace_event` JSON of a 2-node ping-pong |
 //! | `repro-all` | everything above, into `results/` |
 //!
 //! Every binary prints the paper's reference values alongside the

@@ -20,9 +20,14 @@ fn clean_links_reproduce_golden_outputs() {
     let tmp = std::env::temp_dir().join(format!("apenet-golden-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("results dir");
     std::env::set_var("APENET_RESULTS", &tmp);
+    // Regenerate with span tracing enabled-then-discarded: observation
+    // must never perturb scheduling, so the digests must still match the
+    // committed trace-off outputs byte for byte.
+    std::env::set_var("APENET_TRACE", "ring:4096");
     figs::fig04::run();
     figs::fig06::run();
     figs::table1::run();
+    std::env::remove_var("APENET_TRACE");
     std::env::remove_var("APENET_RESULTS");
     // Digests of the committed pre-reliability-layer results/ files.
     let golden = [

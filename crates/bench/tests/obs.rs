@@ -1,0 +1,109 @@
+//! Observability-plane integration tests: the Perfetto export of a real
+//! two-node ping-pong loads with correctly nested spans, the span-trace
+//! latency breakdown agrees with Fig. 4's bandwidth values, and enabling
+//! tracing never changes what a run measures.
+
+use apenet_bench::count_for;
+use apenet_bench::figs::latency_breakdown;
+use apenet_cluster::harness::{
+    flush_read_bandwidth, pingpong_instrumented, two_node_bandwidth, two_node_instrumented,
+    BufSide, TwoNodeParams,
+};
+use apenet_cluster::presets::{cluster_i_default, plx_node};
+use apenet_core::config::GpuTxVersion;
+use apenet_gpu::GpuArch;
+use apenet_obs::perfetto;
+use apenet_sim::trace::kind;
+
+#[test]
+fn pingpong_perfetto_export_nests_and_parses() {
+    let (half_rtt, records) = pingpong_instrumented(
+        cluster_i_default(),
+        BufSide::Gpu,
+        BufSide::Gpu,
+        4096,
+        4,
+        false,
+    );
+    assert!(half_rtt.as_ps() > 0);
+    assert!(!records.is_empty(), "tracing captured the exchange");
+    // Both directions of the exchange carry spans: rank 0's and rank 1's
+    // messages each produce post → … → delivered chains.
+    assert!(records.iter().any(|r| r.kind == kind::POST));
+    assert!(records.iter().any(|r| r.kind == kind::FRAME_RX));
+    assert!(records.iter().any(|r| r.kind == kind::DELIVERED));
+    let spans: std::collections::BTreeSet<_> = records.iter().filter_map(|r| r.span).collect();
+    assert!(spans.len() >= 2, "one span per PUT in the exchange");
+
+    let events = perfetto::export(&records);
+    let slices = perfetto::validate_nesting(&events).expect("slices nest");
+    assert!(slices >= spans.len(), "a parent slice per span at least");
+    let json = perfetto::to_json(&events);
+    perfetto::json_sanity(&json).expect("export is valid JSON");
+    assert!(json.contains("\"traceEvents\""));
+}
+
+#[test]
+fn latency_breakdown_matches_fig04_bandwidth() {
+    // The breakdown's GPU-read section runs the exact Fig. 4 "v2
+    // window=32KB" configuration with tracing added; observation must
+    // not move a single measured value.
+    let sizes = [4096u64, 32 * 1024];
+    let rows = latency_breakdown::read_stages(&sizes);
+    for (row, &size) in rows.iter().zip(&sizes) {
+        let cfg = plx_node(GpuArch::Fermi2050, GpuTxVersion::V2, 32 * 1024);
+        let fig04 = flush_read_bandwidth(cfg, BufSide::Gpu, size, count_for(size));
+        assert_eq!(
+            row.mb_per_sec.to_bits(),
+            fig04.bandwidth.mb_per_sec_f64().to_bits(),
+            "size {size}: breakdown bandwidth must equal fig04's bit-exactly"
+        );
+        assert!(row.setup_us > 0.0 && row.head_us > 0.0, "size {size}");
+    }
+}
+
+#[test]
+fn gg_stage_partition_is_exact() {
+    let rows = latency_breakdown::gg_stages(&[4096, 65_536]);
+    for r in rows {
+        let sum = r.tx_pipeline_us + r.link_us + r.rx_us;
+        assert!(
+            (sum - r.total_us).abs() < 1e-6,
+            "size {}: phases must partition the span ({sum} vs {})",
+            r.size,
+            r.total_us
+        );
+        assert!(r.total_us > 0.0, "size {}", r.size);
+        assert!(r.frames_per_msg >= 1.0, "size {}", r.size);
+    }
+}
+
+#[test]
+fn tracing_does_not_change_measurements() {
+    let p = TwoNodeParams {
+        src: BufSide::Gpu,
+        dst: BufSide::Gpu,
+        size: 32 * 1024,
+        count: 8,
+        staged: false,
+    };
+    let plain = two_node_bandwidth(cluster_i_default(), p);
+    let (traced, records) = two_node_instrumented(cluster_i_default(), p);
+    assert!(!records.is_empty());
+    // BwResult is plain data: Debug formatting covers every field.
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{traced:?}"),
+        "trace-on and trace-off runs must measure identically"
+    );
+}
+
+#[test]
+fn registry_snapshot_is_valid_json() {
+    // The global registry serializes to JSON that our own strict parser
+    // accepts, whatever state previous tests left it in.
+    apenet_obs::global().add("obs.test.counter", 3);
+    let json = apenet_obs::global().snapshot_json();
+    perfetto::json_sanity(&json).expect("registry snapshot parses");
+    assert!(json.contains("\"obs.test.counter\": 3"));
+}

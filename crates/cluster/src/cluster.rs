@@ -9,6 +9,7 @@ use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
 use apenet_sim::engine::{ActorId, Sim};
 use apenet_sim::fault::{derive_seed, FaultInjector};
+use apenet_sim::trace::SharedSink;
 use apenet_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -36,18 +37,53 @@ pub struct Cluster {
     pub cards: Vec<ActorId>,
     /// Per-node shareable handles.
     pub nodes: Vec<NodeHandles>,
+    /// The span-trace sink every card records into (null unless enabled
+    /// via [`ClusterBuilder::with_trace`] or the `APENET_TRACE` env var).
+    /// Drain with [`SharedSink::take`] after a run.
+    pub trace: SharedSink,
 }
 
 /// Builder for a torus of identical nodes.
 pub struct ClusterBuilder {
     dims: TorusDims,
     node_cfg: NodeConfig,
+    trace: Option<SharedSink>,
+}
+
+/// Resolve the trace sink requested by the `APENET_TRACE` env var:
+/// `"capture"` keeps every record (unbounded), `"ring:N"` keeps the last
+/// `N` in a ring buffer, any other non-empty non-`"0"` value defaults to
+/// `ring:65536`, and unset/empty/`"0"` disables tracing entirely.
+pub fn trace_sink_from_env() -> SharedSink {
+    match std::env::var("APENET_TRACE").ok().as_deref() {
+        None | Some("") | Some("0") => SharedSink::null(),
+        Some("capture") => SharedSink::capturing(),
+        Some(v) => match v
+            .strip_prefix("ring:")
+            .and_then(|n| n.parse::<usize>().ok())
+        {
+            Some(cap) => SharedSink::ring(cap),
+            None => SharedSink::ring(65_536),
+        },
+    }
 }
 
 impl ClusterBuilder {
     /// A cluster of `dims` nodes configured by `node_cfg`.
     pub fn new(dims: TorusDims, node_cfg: NodeConfig) -> Self {
-        ClusterBuilder { dims, node_cfg }
+        ClusterBuilder {
+            dims,
+            node_cfg,
+            trace: None,
+        }
+    }
+
+    /// Record every card's span trace into `sink` (overrides the
+    /// `APENET_TRACE` env var). Tracing is pure observation: enabling it
+    /// never changes what the simulation schedules.
+    pub fn with_trace(mut self, sink: SharedSink) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Build with one host program per rank (must supply exactly
@@ -64,7 +100,9 @@ impl ClusterBuilder {
         // Pre-create torus links: one per (node, direction).
         let link_gbps = self.node_cfg.card.link_gbps;
         let link_lat = self.node_cfg.card.link_latency;
+        let trace = self.trace.clone().unwrap_or_else(trace_sink_from_env);
         for node in &mut built {
+            node.card.set_trace(trace.clone());
             for dir in LinkDir::ALL {
                 let link = Rc::new(RefCell::new(TorusLink::new_gbps(link_gbps, link_lat)));
                 node.card.set_link(dir, link);
@@ -138,6 +176,7 @@ impl ClusterBuilder {
             hosts,
             cards,
             nodes: handles,
+            trace,
         }
     }
 }

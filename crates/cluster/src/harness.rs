@@ -17,8 +17,10 @@ use crate::msg::{HostApi, HostIn, HostProgram, NodeCtx};
 use crate::node::NodeConfig;
 use apenet_core::config::TxSinkMode;
 use apenet_core::coord::{Coord, TorusDims};
+use apenet_obs::{CounterSnapshot, Registry};
 use apenet_rdma::api::SrcHint;
 use apenet_rdma::staging::{staged_put, staged_recv_finish};
+use apenet_sim::trace::{SharedSink, TraceRecord};
 use apenet_sim::{Bandwidth, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -276,18 +278,50 @@ fn measure(records: &BenchRecords, size: u64) -> BwResult {
 
 /// Fig. 4 / Table I memory-read rows: single node, TX FIFO flushed.
 pub fn flush_read_bandwidth(node_cfg: NodeConfig, src: BufSide, size: u64, count: u32) -> BwResult {
-    flush_read_with_trace(node_cfg, src, size, count, None).0
+    flush_read_impl(node_cfg, src, size, count, None, None).0
 }
 
 /// [`flush_read_bandwidth`] with an optional bus-analyzer interposer on
 /// the card's PCIe uplink (the Fig. 3 setup); returns the capture.
 pub fn flush_read_with_trace(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    size: u64,
+    count: u32,
+    sink: Option<SharedSink>,
+) -> (BwResult, Vec<TraceRecord>) {
+    let (bw, analyzer, _) = flush_read_impl(node_cfg, src, size, count, sink, None);
+    (bw, analyzer)
+}
+
+/// [`flush_read_bandwidth`] with the card's span trace enabled: returns
+/// the measurement plus every span-correlated record the datapath
+/// emitted (post → fetch → stage → tx-done), for per-stage breakdowns.
+pub fn flush_read_instrumented(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    size: u64,
+    count: u32,
+) -> (BwResult, Vec<TraceRecord>) {
+    let (bw, _, spans) = flush_read_impl(
+        node_cfg,
+        src,
+        size,
+        count,
+        None,
+        Some(SharedSink::capturing()),
+    );
+    (bw, spans)
+}
+
+fn flush_read_impl(
     mut node_cfg: NodeConfig,
     src: BufSide,
     size: u64,
     count: u32,
-    sink: Option<apenet_sim::trace::SharedSink>,
-) -> (BwResult, Vec<apenet_sim::trace::TraceRecord>) {
+    analyzer: Option<SharedSink>,
+    card_trace: Option<SharedSink>,
+) -> (BwResult, Vec<TraceRecord>, Vec<TraceRecord>) {
     node_cfg.card.tx_sink = TxSinkMode::Flush;
     let dims = TorusDims::new(1, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
@@ -298,8 +332,12 @@ pub fn flush_read_with_trace(
         count,
         records: records.clone(),
     };
-    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![Box::new(sender)]);
-    let sink = sink.unwrap_or_else(apenet_sim::trace::SharedSink::null);
+    let mut builder = ClusterBuilder::new(dims, node_cfg);
+    if let Some(t) = card_trace {
+        builder = builder.with_trace(t);
+    }
+    let mut cluster = builder.build(vec![Box::new(sender)]);
+    let sink = analyzer.unwrap_or_else(SharedSink::null);
     if sink.enabled() {
         let shared = &cluster.nodes[0].shared;
         shared
@@ -309,7 +347,7 @@ pub fn flush_read_with_trace(
     }
     cluster.run();
     let r = records.borrow();
-    (measure(&r, size), sink.snapshot().unwrap_or_default())
+    (measure(&r, size), sink.take(), cluster.trace.take())
 }
 
 /// Wrapper that allocates its buffers lazily at start (single-node tests).
@@ -455,6 +493,24 @@ pub struct TwoNodeParams {
 
 /// Fig. 6/7 two-node uni-directional bandwidth test.
 pub fn two_node_bandwidth(node_cfg: NodeConfig, p: TwoNodeParams) -> BwResult {
+    two_node_impl(node_cfg, p, None).0
+}
+
+/// [`two_node_bandwidth`] with both cards' span traces enabled: returns
+/// the measurement plus the merged trace (sender fetch/stage/frame-tx and
+/// receiver frame-rx/rx-write/delivered records, span-correlated).
+pub fn two_node_instrumented(
+    node_cfg: NodeConfig,
+    p: TwoNodeParams,
+) -> (BwResult, Vec<TraceRecord>) {
+    two_node_impl(node_cfg, p, Some(SharedSink::capturing()))
+}
+
+fn two_node_impl(
+    node_cfg: NodeConfig,
+    p: TwoNodeParams,
+    trace: Option<SharedSink>,
+) -> (BwResult, Vec<TraceRecord>) {
     let dims = TorusDims::new(2, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
     // Destination addresses are deterministic: first allocation on the
@@ -485,10 +541,14 @@ pub fn two_node_bandwidth(node_cfg: NodeConfig, p: TwoNodeParams) -> BwResult {
         staged: p.staged,
         records: records.clone(),
     });
-    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![sender, receiver]);
+    let mut builder = ClusterBuilder::new(dims, node_cfg);
+    if let Some(t) = trace {
+        builder = builder.with_trace(t);
+    }
+    let mut cluster = builder.build(vec![sender, receiver]);
     cluster.run();
     let r = records.borrow();
-    measure(&r, p.size)
+    (measure(&r, p.size), cluster.trace.take())
 }
 
 /// The address the first allocation of `size` bytes lands at.
@@ -616,6 +676,41 @@ pub fn pingpong_half_rtt(
     iters: u32,
     staged: bool,
 ) -> SimDuration {
+    pingpong_impl(node_cfg, src, dst, size, iters, staged, None).0
+}
+
+/// [`pingpong_half_rtt`] with both cards' span traces enabled: returns
+/// the latency plus the span-correlated trace of every PUT in the
+/// exchange (the input to the Perfetto exporter and the latency
+/// breakdown report).
+pub fn pingpong_instrumented(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    iters: u32,
+    staged: bool,
+) -> (SimDuration, Vec<TraceRecord>) {
+    pingpong_impl(
+        node_cfg,
+        src,
+        dst,
+        size,
+        iters,
+        staged,
+        Some(SharedSink::capturing()),
+    )
+}
+
+fn pingpong_impl(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    iters: u32,
+    staged: bool,
+    trace: Option<SharedSink>,
+) -> (SimDuration, Vec<TraceRecord>) {
     let dims = TorusDims::new(2, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
     let peer_dst = first_alloc_addr(&node_cfg, dst, size, staged);
@@ -645,7 +740,11 @@ pub fn pingpong_half_rtt(
         timer_start: None,
         records: records.clone(),
     });
-    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![initiator, responder]);
+    let mut builder = ClusterBuilder::new(dims, node_cfg);
+    if let Some(t) = trace {
+        builder = builder.with_trace(t);
+    }
+    let mut cluster = builder.build(vec![initiator, responder]);
     cluster.run();
     let r = records.borrow();
     // completions[0] is the timer start (after warm-up); the last is the
@@ -657,7 +756,10 @@ pub fn pingpong_half_rtt(
     let span = r.completions[r.completions.len() - 1]
         .0
         .since(r.completions[0].0);
-    span / (2 * (r.completions.len() as u64 - 1))
+    (
+        span / (2 * (r.completions.len() as u64 - 1)),
+        cluster.trace.take(),
+    )
 }
 
 /// Both sides of the ping-pong. The destination buffer layout is
@@ -925,6 +1027,11 @@ pub struct ChaosReport {
     pub last_delivery: SimTime,
     /// Simulated end time.
     pub end: SimTime,
+    /// The run's full counter snapshot from its private metrics registry
+    /// (link-reliability ids from `apenet_core::card::metrics` plus the
+    /// watchdog ids from `apenet_rdma::driver::metrics`). The scalar
+    /// counter fields above are views into this snapshot.
+    pub metrics: CounterSnapshot,
 }
 
 struct ChaosShared {
@@ -933,7 +1040,6 @@ struct ChaosShared {
     descs: std::collections::BTreeMap<apenet_core::packet::MsgId, apenet_core::card::TxDesc>,
     /// Expired messages routed back to their source rank for re-issue.
     reissue: Vec<std::collections::VecDeque<apenet_core::card::TxDesc>>,
-    reissues: u64,
 }
 
 struct ChaosRank {
@@ -968,7 +1074,6 @@ impl ChaosRank {
             sh.reissue[msg.src_rank as usize].push_back(desc);
         }
         while let Some(desc) = sh.reissue[self.rank as usize].pop_front() {
-            sh.reissues += 1;
             api.submit(SimDuration::ZERO, desc);
         }
         // Keep polling while anything in the cluster is still armed.
@@ -1039,14 +1144,19 @@ impl HostProgram for ChaosRank {
 pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> ChaosReport {
     let n = dims.nodes();
     assert!(n >= 2, "the ring workload needs at least two nodes");
+    // Every counter the report quotes flows through this per-run
+    // registry: the watchdog mirrors its alarms in, and each card
+    // publishes its link-reliability totals after the run.
+    let reg = Registry::new();
     let wd_cfg = node_cfg.driver.watchdog.clone();
     let poll = SimDuration::from_ps((wd_cfg.timeout.as_ps() / 4).max(1));
+    let mut watchdog = apenet_rdma::driver::Watchdog::new(wd_cfg);
+    watchdog.attach_metrics(&reg);
     let shared = Rc::new(RefCell::new(ChaosShared {
-        watchdog: apenet_rdma::driver::Watchdog::new(wd_cfg),
+        watchdog,
         delivered: Default::default(),
         descs: Default::default(),
         reissue: (0..n).map(|_| Default::default()).collect(),
-        reissues: 0,
     }));
     let programs: Vec<Box<dyn HostProgram>> = (0..n)
         .map(|r| {
@@ -1106,43 +1216,43 @@ pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> Chaos
         }
     }
 
-    let mut report = ChaosReport {
-        expected: n as u64 * p.msgs_per_rank as u64,
-        delivered: sh.delivered.len() as u64,
-        duplicates: 0,
-        payload_ok,
-        quiesced: true,
-        watchdog_fired: sh.watchdog.fired,
-        watchdog_reissues: sh.reissues,
-        retransmits: 0,
-        timeouts: 0,
-        dup_frames: 0,
-        crc_dropped: 0,
-        naks: 0,
-        injected: (0, 0, 0),
-        stall_ps: 0,
-        last_delivery: SimTime::ZERO,
-        end,
-    };
+    let mut duplicates = 0;
+    let mut quiesced = true;
+    let mut last_delivery = SimTime::ZERO;
     for r in 0..n {
         let cq = &cluster.host(r).node.cq;
-        report.duplicates += cq.duplicate_count();
+        duplicates += cq.duplicate_count();
         if let Some(t) = cq.last_delivery() {
-            report.last_delivery = report.last_delivery.max(t);
+            last_delivery = last_delivery.max(t);
         }
         let card = cluster.card(r).card();
-        report.quiesced &= card.quiesced();
-        report.retransmits += card.stats.retransmits;
-        report.crc_dropped += card.stats.crc_dropped;
-        for l in &card.stats.links {
-            report.naks += l.naks_sent;
-            report.timeouts += l.timeouts;
-            report.dup_frames += l.dup_frames;
-            report.injected.0 += l.injected_corrupt;
-            report.injected.1 += l.injected_drops;
-            report.injected.2 += l.injected_stalls;
-            report.stall_ps += l.stall_ps;
-        }
+        quiesced &= card.quiesced();
+        card.publish_link_metrics(&reg);
     }
-    report
+    let metrics = reg.counters();
+    use apenet_core::card::metrics as lm;
+    use apenet_rdma::driver::metrics as wm;
+    ChaosReport {
+        expected: n as u64 * p.msgs_per_rank as u64,
+        delivered: sh.delivered.len() as u64,
+        duplicates,
+        payload_ok,
+        quiesced,
+        watchdog_fired: metrics.get(wm::FIRED),
+        watchdog_reissues: metrics.get(wm::REISSUES),
+        retransmits: metrics.get(lm::RETRANSMITS),
+        timeouts: metrics.get(lm::TIMEOUTS),
+        dup_frames: metrics.get(lm::DUP_FRAMES),
+        crc_dropped: metrics.get(lm::CRC_DROPPED),
+        naks: metrics.get(lm::NAKS_SENT),
+        injected: (
+            metrics.get(lm::INJECTED_CORRUPT),
+            metrics.get(lm::INJECTED_DROPS),
+            metrics.get(lm::INJECTED_STALLS),
+        ),
+        stall_ps: metrics.get(lm::STALL_PS),
+        last_delivery,
+        end,
+        metrics,
+    }
 }

@@ -16,12 +16,14 @@ use crate::torus::{LinkFrame, LinkMsg, Port, TorusLink, NUM_PORTS};
 use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
 use apenet_gpu::GPU_PAGE_SIZE;
+use apenet_obs::Registry;
 use apenet_pcie::fabric::{DeviceId, Fabric};
 use apenet_pcie::server::ReadServer;
 use apenet_pcie::tlp::TlpKind;
 use apenet_sim::bytes::PayloadSlice;
 use apenet_sim::fault::{self, FaultInjector};
 use apenet_sim::rng::Xoshiro256ss;
+use apenet_sim::trace::{kind as tk, SharedSink, TracePayload};
 use apenet_sim::{Bandwidth, ByteFifo, Device, Outbox, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -254,100 +256,42 @@ impl LinkStats {
     }
 }
 
-/// Process-wide link-reliability totals.
-///
-/// Every [`Card`] publishes its per-port [`LinkStats`] sums here when it
-/// is dropped, so a driver that runs many simulations (`repro-all`) can
-/// report aggregate retransmission/degradation activity without keeping
-/// any cluster alive. All-zero on clean runs: a fault-free simulation
-/// never replays, NAKs, or stalls.
-pub mod link_totals {
-    use std::sync::atomic::{AtomicU64, Ordering};
+/// Stable metric ids for the card's link-reliability counters in the
+/// observability registry (see `apenet-obs`). Values are the per-port
+/// [`LinkStats`] fields summed across ports; all-zero on clean runs — a
+/// fault-free simulation never replays, NAKs, or stalls.
+pub mod metrics {
+    /// Data frames replayed by go-back-N.
+    pub const RETRANSMITS: &str = "link.retransmits";
+    /// Retransmit-timer expirations that triggered a replay.
+    pub const TIMEOUTS: &str = "link.timeouts";
+    /// NAKs sent.
+    pub const NAKS_SENT: &str = "link.naks_sent";
+    /// Duplicate data frames discarded on receive.
+    pub const DUP_FRAMES: &str = "link.dup_frames";
+    /// Frames corrupted by fault injectors.
+    pub const INJECTED_CORRUPT: &str = "link.injected_corrupt";
+    /// Frames eaten by fault injectors.
+    pub const INJECTED_DROPS: &str = "link.injected_drops";
+    /// Stall windows inserted by fault injectors.
+    pub const INJECTED_STALLS: &str = "link.injected_stalls";
+    /// Total injected stall time in picoseconds.
+    pub const STALL_PS: &str = "link.stall_ps";
+    /// Frames lost to CRC failure (kill-switch mode only).
+    pub const CRC_DROPPED: &str = "link.crc_dropped";
 
-    static RETRANSMITS: AtomicU64 = AtomicU64::new(0);
-    static TIMEOUTS: AtomicU64 = AtomicU64::new(0);
-    static NAKS_SENT: AtomicU64 = AtomicU64::new(0);
-    static DUP_FRAMES: AtomicU64 = AtomicU64::new(0);
-    static INJECTED_CORRUPT: AtomicU64 = AtomicU64::new(0);
-    static INJECTED_DROPS: AtomicU64 = AtomicU64::new(0);
-    static INJECTED_STALLS: AtomicU64 = AtomicU64::new(0);
-    static STALL_PS: AtomicU64 = AtomicU64::new(0);
-    static CRC_DROPPED: AtomicU64 = AtomicU64::new(0);
-
-    /// One snapshot of the process-wide totals.
-    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-    pub struct LinkTotals {
-        /// Data frames replayed by go-back-N across all cards.
-        pub retransmits: u64,
-        /// Retransmit-timer expirations that triggered a replay.
-        pub timeouts: u64,
-        /// NAKs sent.
-        pub naks_sent: u64,
-        /// Duplicate data frames discarded on receive.
-        pub dup_frames: u64,
-        /// Frames corrupted by fault injectors.
-        pub injected_corrupt: u64,
-        /// Frames eaten by fault injectors.
-        pub injected_drops: u64,
-        /// Stall windows inserted by fault injectors.
-        pub injected_stalls: u64,
-        /// Total injected stall time in picoseconds.
-        pub stall_ps: u64,
-        /// Frames lost to CRC failure (kill-switch mode only).
-        pub crc_dropped: u64,
-    }
-
-    impl LinkTotals {
-        /// True when no reliability or injection activity was recorded.
-        pub fn is_clean(&self) -> bool {
-            *self == LinkTotals::default()
-        }
-    }
-
-    /// Read the totals accumulated so far.
-    pub fn snapshot() -> LinkTotals {
-        LinkTotals {
-            retransmits: RETRANSMITS.load(Ordering::Relaxed),
-            timeouts: TIMEOUTS.load(Ordering::Relaxed),
-            naks_sent: NAKS_SENT.load(Ordering::Relaxed),
-            dup_frames: DUP_FRAMES.load(Ordering::Relaxed),
-            injected_corrupt: INJECTED_CORRUPT.load(Ordering::Relaxed),
-            injected_drops: INJECTED_DROPS.load(Ordering::Relaxed),
-            injected_stalls: INJECTED_STALLS.load(Ordering::Relaxed),
-            stall_ps: STALL_PS.load(Ordering::Relaxed),
-            crc_dropped: CRC_DROPPED.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Difference between a later snapshot and an earlier one.
-    pub fn delta(later: &LinkTotals, earlier: &LinkTotals) -> LinkTotals {
-        LinkTotals {
-            retransmits: later.retransmits - earlier.retransmits,
-            timeouts: later.timeouts - earlier.timeouts,
-            naks_sent: later.naks_sent - earlier.naks_sent,
-            dup_frames: later.dup_frames - earlier.dup_frames,
-            injected_corrupt: later.injected_corrupt - earlier.injected_corrupt,
-            injected_drops: later.injected_drops - earlier.injected_drops,
-            injected_stalls: later.injected_stalls - earlier.injected_stalls,
-            stall_ps: later.stall_ps - earlier.stall_ps,
-            crc_dropped: later.crc_dropped - earlier.crc_dropped,
-        }
-    }
-
-    pub(super) fn publish(t: &LinkTotals) {
-        if t.is_clean() {
-            return;
-        }
-        RETRANSMITS.fetch_add(t.retransmits, Ordering::Relaxed);
-        TIMEOUTS.fetch_add(t.timeouts, Ordering::Relaxed);
-        NAKS_SENT.fetch_add(t.naks_sent, Ordering::Relaxed);
-        DUP_FRAMES.fetch_add(t.dup_frames, Ordering::Relaxed);
-        INJECTED_CORRUPT.fetch_add(t.injected_corrupt, Ordering::Relaxed);
-        INJECTED_DROPS.fetch_add(t.injected_drops, Ordering::Relaxed);
-        INJECTED_STALLS.fetch_add(t.injected_stalls, Ordering::Relaxed);
-        STALL_PS.fetch_add(t.stall_ps, Ordering::Relaxed);
-        CRC_DROPPED.fetch_add(t.crc_dropped, Ordering::Relaxed);
-    }
+    /// Every link-reliability id, in reporting order.
+    pub const ALL: [&str; 9] = [
+        RETRANSMITS,
+        TIMEOUTS,
+        NAKS_SENT,
+        DUP_FRAMES,
+        INJECTED_CORRUPT,
+        INJECTED_DROPS,
+        INJECTED_STALLS,
+        STALL_PS,
+        CRC_DROPPED,
+    ];
 }
 
 /// Datapath counters.
@@ -371,6 +315,26 @@ pub struct CardStats {
     pub rx_unmatched: u64,
     /// Per-port link-layer counters (six torus directions + loop-back).
     pub links: [LinkStats; NUM_PORTS],
+}
+
+impl CardStats {
+    /// Per-port link counters summed across all ports.
+    pub fn link_sums(&self) -> LinkStats {
+        let mut t = LinkStats::default();
+        for l in &self.links {
+            t.data_frames += l.data_frames;
+            t.retransmits += l.retransmits;
+            t.timeouts += l.timeouts;
+            t.naks_sent += l.naks_sent;
+            t.dup_frames += l.dup_frames;
+            t.injected_corrupt += l.injected_corrupt;
+            t.injected_drops += l.injected_drops;
+            t.injected_stalls += l.injected_stalls;
+            t.stall_ps += l.stall_ps;
+            t.crc_dropped += l.crc_dropped;
+        }
+        t
+    }
 }
 
 struct TxJob {
@@ -448,6 +412,10 @@ pub struct Card {
     fault_active: bool,
     /// Seeded RNG for the legacy periodic corruption's position/mask.
     fault_rng: Xoshiro256ss,
+    /// Span-correlated lifecycle trace sink (null by default; see
+    /// [`Card::set_trace`]). Observation only — records never schedule
+    /// events, so traced runs keep golden timing.
+    trace: SharedSink,
     /// Datapath counters.
     pub stats: CardStats,
 }
@@ -482,8 +450,32 @@ impl Card {
             injectors: std::array::from_fn(|_| None),
             fault_active,
             fault_rng,
+            trace: SharedSink::null(),
             stats: CardStats::default(),
         }
+    }
+
+    /// Attach a lifecycle trace sink: every RDMA message flowing through
+    /// this card records span-correlated post/fetch/frame/delivery
+    /// events into it. The default null sink costs one branch per site.
+    pub fn set_trace(&mut self, sink: SharedSink) {
+        self.trace = sink;
+    }
+
+    /// Publish this card's link-reliability counters into `reg` under the
+    /// [`metrics`] ids. Creates every id (at zero) even on clean runs so
+    /// consumers see a stable key set.
+    pub fn publish_link_metrics(&self, reg: &Registry) {
+        let t = self.stats.link_sums();
+        reg.add(metrics::RETRANSMITS, t.retransmits);
+        reg.add(metrics::TIMEOUTS, t.timeouts);
+        reg.add(metrics::NAKS_SENT, t.naks_sent);
+        reg.add(metrics::DUP_FRAMES, t.dup_frames);
+        reg.add(metrics::INJECTED_CORRUPT, t.injected_corrupt);
+        reg.add(metrics::INJECTED_DROPS, t.injected_drops);
+        reg.add(metrics::INJECTED_STALLS, t.injected_stalls);
+        reg.add(metrics::STALL_PS, t.stall_ps);
+        reg.add(metrics::CRC_DROPPED, t.crc_dropped);
     }
 
     /// Wire the outgoing torus link for `dir`.
@@ -577,6 +569,7 @@ impl Card {
             };
             let offset = job.plan.requested;
             let src_kind = job.desc.src_kind;
+            let span = job.desc.msg.span();
             // v1 pays Nios software time per request *before* issuing it.
             let req_ready =
                 if matches!(src_kind, BufKind::Gpu(_)) && self.cfg.gpu_tx == GpuTxVersion::V1 {
@@ -608,6 +601,7 @@ impl Card {
                         }
                     }
                     let mut fabric = self.shared.fabric.borrow_mut();
+                    fabric.set_span(Some(span));
                     // Read request toward the GPU...
                     let req = fabric.send_tlp(
                         req_ready,
@@ -635,10 +629,12 @@ impl Card {
                         n,
                         apenet_pcie::MAX_PAYLOAD,
                     );
+                    fabric.set_span(None);
                     st.arrive.max(cpl.last)
                 }
                 BufKind::Host => {
                     let mut fabric = self.shared.fabric.borrow_mut();
+                    fabric.set_span(Some(span));
                     let req = fabric.send_tlp(
                         req_ready,
                         self.shared.nic_dev,
@@ -655,6 +651,7 @@ impl Card {
                         n,
                         apenet_pcie::MAX_PAYLOAD,
                     );
+                    fabric.set_span(None);
                     st.arrive.max(cpl.last)
                 }
             };
@@ -870,6 +867,19 @@ impl Card {
             self.stats.retransmits += 1;
             self.stats.links[pi].retransmits += 1;
         }
+        if self.trace.enabled() {
+            self.trace.record(
+                ready,
+                "card",
+                tk::FRAME_TX,
+                Some(wire.msg.span()),
+                TracePayload::Frame {
+                    seq,
+                    wire: wire.wire_bytes(),
+                    retrans: is_retrans,
+                },
+            );
+        }
         match port {
             Port::Loopback => {
                 let serialize = Bandwidth::from_gb_per_sec(4).time_for(wire.wire_bytes());
@@ -1081,6 +1091,7 @@ impl Card {
                 self.stats.links[pi].crc_dropped += 1;
                 return;
             }
+            self.record_frame_rx(&frame, now);
             self.deliver_up(frame.packet, now, out);
             return;
         }
@@ -1094,6 +1105,7 @@ impl Card {
             rx.nakked = None;
             let upto = rx.expect;
             self.send_control(port, LinkMsg::Ack { upto }, out);
+            self.record_frame_rx(&frame, now);
             self.deliver_up(frame.packet, now, out);
         } else if frame.seq < rx.expect {
             // Duplicate (a replay raced our ACK): discard and re-ACK so
@@ -1105,6 +1117,23 @@ impl Card {
         } else {
             // Sequence gap: an earlier frame was lost on the wire.
             self.send_nak(port, out);
+        }
+    }
+
+    /// Trace the in-order acceptance of a data frame.
+    fn record_frame_rx(&self, frame: &LinkFrame, now: SimTime) {
+        if self.trace.enabled() {
+            self.trace.record(
+                now,
+                "card",
+                tk::FRAME_RX,
+                Some(frame.packet.msg.span()),
+                TracePayload::Frame {
+                    seq: frame.seq,
+                    wire: frame.packet.wire_bytes(),
+                    retrans: false,
+                },
+            );
         }
     }
 
@@ -1166,16 +1195,36 @@ impl Card {
         out: &mut Outbox<CardOut>,
     ) {
         let len = packet.len();
+        let span = packet.msg.span();
         match self.tx_fifo.push(packet.wire_bytes(), packet) {
             Ok(()) => {
                 self.staged_pending = self.staged_pending.saturating_sub(len);
                 self.stats.tx_packets += 1;
+                if self.trace.enabled() {
+                    self.trace.record(
+                        now,
+                        "card",
+                        tk::STAGE,
+                        Some(span),
+                        TracePayload::Bytes { len },
+                    );
+                }
                 if let Some(job) = self.tx_jobs.get_mut(&job_id) {
                     job.pushed += len;
                     let done = job.plan.done() && job.pushed == job.desc.len;
                     let msg = job.desc.msg;
+                    let msg_len = job.desc.len;
                     if done {
                         self.tx_jobs.remove(&job_id);
+                        if self.trace.enabled() {
+                            self.trace.record(
+                                now,
+                                "card",
+                                tk::TX_DONE,
+                                Some(msg.span()),
+                                TracePayload::Msg { len: msg_len },
+                            );
+                        }
                         out.push(SimDuration::ZERO, CardOut::TxComplete { msg });
                         if self.gpu_job_active == Some(job_id) {
                             // Release the GPU_P2P_TX engine for the next
@@ -1198,6 +1247,15 @@ impl Card {
     /// so the packet is clean here.
     fn rx_local(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
         self.stats.rx_packets += 1;
+        if self.trace.enabled() {
+            self.trace.record(
+                now,
+                "card",
+                tk::RX_WRITE,
+                Some(packet.msg.span()),
+                TracePayload::Bytes { len: packet.len() },
+            );
+        }
         let fw = self.shared.firmware.borrow();
         let (entry, bl_cost) = fw.buf_list.lookup(packet.dst_vaddr, packet.len());
         let Some(entry) = entry else {
@@ -1220,6 +1278,7 @@ impl Card {
         let done = match entry.kind {
             BufKind::Host => {
                 let mut fabric = self.shared.fabric.borrow_mut();
+                fabric.set_span(Some(packet.msg.span()));
                 let st = fabric.send_stream(
                     nios_done,
                     self.shared.nic_dev,
@@ -1228,6 +1287,7 @@ impl Card {
                     len,
                     apenet_pcie::MAX_PAYLOAD,
                 );
+                fabric.set_span(None);
                 if len > 0 {
                     self.shared
                         .hostmem
@@ -1240,6 +1300,7 @@ impl Card {
             BufKind::Gpu(id) => {
                 let gpu = self.shared.gpus[id.0 as usize].clone();
                 let mut fabric = self.shared.fabric.borrow_mut();
+                fabric.set_span(Some(packet.msg.span()));
                 let st = fabric.send_stream(
                     nios_done,
                     self.shared.nic_dev,
@@ -1248,6 +1309,7 @@ impl Card {
                     len,
                     apenet_pcie::MAX_PAYLOAD,
                 );
+                fabric.set_span(None);
                 let mut cuda = gpu.cuda.borrow_mut();
                 let wend = cuda.p2p.absorb_write(nios_done, packet.dst_vaddr, len);
                 if len > 0 {
@@ -1270,6 +1332,17 @@ impl Card {
             self.rx_msgs.remove(&packet.msg);
             // Completion notification (event-queue write the host polls).
             let (_s, note_done) = self.nios.run(done, self.cfg.rx_notify);
+            if self.trace.enabled() {
+                self.trace.record(
+                    note_done,
+                    "card",
+                    tk::DELIVERED,
+                    Some(packet.msg.span()),
+                    TracePayload::Msg {
+                        len: packet.msg_len,
+                    },
+                );
+            }
             out.push(
                 note_done.since(now),
                 CardOut::Delivered {
@@ -1317,6 +1390,15 @@ impl Device for Card {
                 };
                 let plan = FetchPlan::new(version, window, desc.len);
                 let len = desc.len;
+                if self.trace.enabled() {
+                    self.trace.record(
+                        now,
+                        "card",
+                        tk::POST,
+                        Some(desc.msg.span()),
+                        TracePayload::Msg { len },
+                    );
+                }
                 self.tx_jobs.insert(
                     job_id,
                     TxJob {
@@ -1352,6 +1434,15 @@ impl Device for Card {
                     if let Some(j) = self.tx_jobs.get_mut(&job) {
                         j.plan.arrived_bytes(len as u64);
                         self.stats.tx_bytes_fetched += len as u64;
+                        if self.trace.enabled() {
+                            self.trace.record(
+                                now,
+                                "card",
+                                tk::FETCH,
+                                Some(j.desc.msg.span()),
+                                TracePayload::Bytes { len: len as u64 },
+                            );
+                        }
                     }
                     self.stage_packets(job, offset, len, now, out);
                 } else if self.tx_jobs.get(&job).is_some_and(|j| j.desc.len == 0) {
@@ -1398,20 +1489,13 @@ impl Device for Card {
 impl Drop for Card {
     fn drop(&mut self) {
         // Publish this card's lifetime reliability counters into the
-        // process-wide totals (see [`link_totals`]). Clean cards publish
-        // nothing, so fault-free runs touch no shared state.
-        let mut t = link_totals::LinkTotals::default();
-        for l in &self.stats.links {
-            t.retransmits += l.retransmits;
-            t.timeouts += l.timeouts;
-            t.naks_sent += l.naks_sent;
-            t.dup_frames += l.dup_frames;
-            t.injected_corrupt += l.injected_corrupt;
-            t.injected_drops += l.injected_drops;
-            t.injected_stalls += l.injected_stalls;
-            t.stall_ps += l.stall_ps;
-            t.crc_dropped += l.crc_dropped;
+        // process-wide registry (under the [`metrics`] ids), so a driver
+        // that runs many simulations (`repro-all`) can report aggregate
+        // retransmission/degradation activity without keeping any cluster
+        // alive. Clean cards publish nothing, so fault-free runs touch no
+        // shared state.
+        if !self.stats.link_sums().is_clean() {
+            self.publish_link_metrics(apenet_obs::global());
         }
-        link_totals::publish(&t);
     }
 }

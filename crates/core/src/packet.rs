@@ -7,6 +7,7 @@
 
 use crate::coord::Coord;
 use apenet_sim::bytes::PayloadSlice;
+use apenet_sim::trace::SpanId;
 
 /// Maximum payload of one APEnet+ packet.
 pub const APE_MAX_PAYLOAD: u32 = 4096;
@@ -22,6 +23,14 @@ pub struct MsgId {
     pub src_rank: u32,
     /// Per-sender sequence number.
     pub seq: u64,
+}
+
+impl MsgId {
+    /// The trace span correlating every observation of this message —
+    /// derived from the identity, so replays agree without coordination.
+    pub fn span(self) -> SpanId {
+        SpanId::from_msg(self.src_rank, self.seq)
+    }
 }
 
 /// One packet on the torus.

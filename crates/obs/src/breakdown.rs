@@ -1,0 +1,254 @@
+//! Per-message phase decomposition from span-correlated trace records.
+//!
+//! Folds a flat capture into one [`SpanPhases`] per message, mirroring
+//! the paper's Fig. 4 / Table 1 per-stage latency decomposition (Nios II
+//! cycle counters on real hardware). Phases partition the span's
+//! lifetime monotonically:
+//!
+//! * **tx pipeline** — post accepted → first frame starts serializing
+//!   (driver descriptor push, GPU/host fetch, staging);
+//! * **link** — first frame TX → last in-order frame RX (wire occupancy
+//!   including go-back-N retransmits);
+//! * **rx** — last frame RX → delivery notification (RX buffer lookup
+//!   and destination write).
+
+use apenet_sim::trace::{kind, SpanId, TracePayload, TraceRecord};
+use apenet_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Everything observed about one message span.
+#[derive(Debug, Clone)]
+pub struct SpanPhases {
+    /// The span this summarizes.
+    pub span: SpanId,
+    /// Earliest and latest record times seen for the span.
+    pub first: SimTime,
+    pub last: SimTime,
+    /// Host posted the TX descriptor.
+    pub post: Option<SimTime>,
+    /// First/last payload fetch arrival and total bytes fetched.
+    pub first_fetch: Option<SimTime>,
+    pub last_fetch: Option<SimTime>,
+    pub fetch_bytes: u64,
+    /// First frame onto the wire / last frame accepted in-order.
+    pub first_frame_tx: Option<SimTime>,
+    pub last_frame_rx: Option<SimTime>,
+    /// Frames transmitted (including retransmits) and retransmits alone.
+    pub frames: u64,
+    pub retransmits: u64,
+    /// Destination write began.
+    pub first_rx_write: Option<SimTime>,
+    /// Destination host was notified.
+    pub delivered: Option<SimTime>,
+    /// Source host reaped the completion.
+    pub tx_done: Option<SimTime>,
+    /// Message length from the post/delivery records.
+    pub msg_len: u64,
+}
+
+impl SpanPhases {
+    fn new(span: SpanId, at: SimTime) -> Self {
+        SpanPhases {
+            span,
+            first: at,
+            last: at,
+            post: None,
+            first_fetch: None,
+            last_fetch: None,
+            fetch_bytes: 0,
+            first_frame_tx: None,
+            last_frame_rx: None,
+            frames: 0,
+            retransmits: 0,
+            first_rx_write: None,
+            delivered: None,
+            tx_done: None,
+            msg_len: 0,
+        }
+    }
+
+    /// Monotonic phase boundaries `[start, wire_start, wire_end, end]`
+    /// partitioning the span; missing observations collapse the
+    /// corresponding phase to zero length.
+    pub fn boundaries(&self) -> [SimTime; 4] {
+        let t0 = self.post.unwrap_or(self.first);
+        let t1 = self.first_frame_tx.unwrap_or(t0).max(t0);
+        let t2 = self.last_frame_rx.unwrap_or(t1).max(t1);
+        let t3 = self.delivered.unwrap_or(self.last).max(t2);
+        [t0, t1, t2, t3]
+    }
+
+    /// Post accepted → first frame on the wire.
+    pub fn tx_pipeline(&self) -> SimDuration {
+        let [t0, t1, _, _] = self.boundaries();
+        t1.since(t0)
+    }
+
+    /// First frame on the wire → last in-order frame received.
+    pub fn link(&self) -> SimDuration {
+        let [_, t1, t2, _] = self.boundaries();
+        t2.since(t1)
+    }
+
+    /// Last frame received → delivery notification.
+    pub fn rx(&self) -> SimDuration {
+        let [_, _, t2, t3] = self.boundaries();
+        t3.since(t2)
+    }
+
+    /// Post accepted → delivery notification.
+    pub fn total(&self) -> SimDuration {
+        let [t0, _, _, t3] = self.boundaries();
+        t3.since(t0)
+    }
+}
+
+/// Fold `records` into per-span phase summaries, in span order.
+/// Records without a span (e.g. interposer TLPs emitted outside any
+/// message context) are ignored.
+pub fn collect(records: &[TraceRecord]) -> Vec<SpanPhases> {
+    let mut spans: BTreeMap<SpanId, SpanPhases> = BTreeMap::new();
+    for r in records {
+        let Some(id) = r.span else { continue };
+        let sp = spans.entry(id).or_insert_with(|| SpanPhases::new(id, r.at));
+        sp.first = sp.first.min(r.at);
+        sp.last = sp.last.max(r.at);
+        match r.kind {
+            kind::POST => {
+                sp.post = Some(sp.post.map_or(r.at, |t| t.min(r.at)));
+                if let TracePayload::Msg { len } = r.payload {
+                    sp.msg_len = sp.msg_len.max(len);
+                }
+            }
+            kind::FETCH => {
+                sp.first_fetch = Some(sp.first_fetch.map_or(r.at, |t| t.min(r.at)));
+                sp.last_fetch = Some(sp.last_fetch.map_or(r.at, |t| t.max(r.at)));
+                sp.fetch_bytes += r.payload.data_len();
+            }
+            kind::FRAME_TX => {
+                sp.first_frame_tx = Some(sp.first_frame_tx.map_or(r.at, |t| t.min(r.at)));
+                sp.frames += 1;
+                if let TracePayload::Frame { retrans: true, .. } = r.payload {
+                    sp.retransmits += 1;
+                }
+            }
+            kind::FRAME_RX => {
+                sp.last_frame_rx = Some(sp.last_frame_rx.map_or(r.at, |t| t.max(r.at)));
+            }
+            kind::RX_WRITE => {
+                sp.first_rx_write = Some(sp.first_rx_write.map_or(r.at, |t| t.min(r.at)));
+            }
+            kind::DELIVERED => {
+                sp.delivered = Some(sp.delivered.map_or(r.at, |t| t.max(r.at)));
+                if let TracePayload::Msg { len } = r.payload {
+                    sp.msg_len = sp.msg_len.max(len);
+                }
+            }
+            kind::TX_DONE => {
+                sp.tx_done = Some(sp.tx_done.map_or(r.at, |t| t.max(r.at)));
+            }
+            _ => {}
+        }
+    }
+    spans.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apenet_sim::trace::TracePayload as P;
+
+    fn rec(at_ns: u64, k: &'static str, span: SpanId, payload: P) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_ps(at_ns * 1000),
+            source: "card",
+            kind: k,
+            span: Some(span),
+            payload,
+        }
+    }
+
+    #[test]
+    fn collect_partitions_one_span() {
+        let s = SpanId::from_msg(0, 1);
+        let records = vec![
+            rec(10, kind::POST, s, P::Msg { len: 4096 }),
+            rec(20, kind::FETCH, s, P::Bytes { len: 4096 }),
+            rec(
+                30,
+                kind::FRAME_TX,
+                s,
+                P::Frame {
+                    seq: 0,
+                    wire: 4200,
+                    retrans: false,
+                },
+            ),
+            rec(
+                35,
+                kind::FRAME_TX,
+                s,
+                P::Frame {
+                    seq: 0,
+                    wire: 4200,
+                    retrans: true,
+                },
+            ),
+            rec(
+                50,
+                kind::FRAME_RX,
+                s,
+                P::Frame {
+                    seq: 0,
+                    wire: 4200,
+                    retrans: false,
+                },
+            ),
+            rec(55, kind::RX_WRITE, s, P::Bytes { len: 4096 }),
+            rec(70, kind::DELIVERED, s, P::Msg { len: 4096 }),
+            rec(80, kind::TX_DONE, s, P::Msg { len: 4096 }),
+        ];
+        let spans = collect(&records);
+        assert_eq!(spans.len(), 1);
+        let sp = &spans[0];
+        assert_eq!(sp.span, s);
+        assert_eq!(sp.msg_len, 4096);
+        assert_eq!(sp.fetch_bytes, 4096);
+        assert_eq!(sp.frames, 2);
+        assert_eq!(sp.retransmits, 1);
+        assert_eq!(sp.tx_pipeline(), SimDuration::from_ns(20));
+        assert_eq!(sp.link(), SimDuration::from_ns(20));
+        assert_eq!(sp.rx(), SimDuration::from_ns(20));
+        assert_eq!(sp.total(), SimDuration::from_ns(60));
+        // The partition is exact: phases sum to the total.
+        let sum = sp.tx_pipeline() + sp.link() + sp.rx();
+        assert_eq!(sum, sp.total());
+    }
+
+    #[test]
+    fn spanless_records_are_ignored_and_partial_spans_collapse() {
+        let s = SpanId::from_msg(2, 9);
+        let records = vec![
+            TraceRecord {
+                at: SimTime::from_ps(1),
+                source: "interposer",
+                kind: "MRd",
+                span: None,
+                payload: P::Tlp {
+                    len: 0,
+                    wire: 24,
+                    up: true,
+                },
+            },
+            rec(100, kind::POST, s, P::Msg { len: 64 }),
+        ];
+        let spans = collect(&records);
+        assert_eq!(spans.len(), 1);
+        let sp = &spans[0];
+        // No wire/delivery observations: every phase is zero-length.
+        assert_eq!(sp.total(), SimDuration::ZERO);
+        assert_eq!(sp.tx_pipeline(), SimDuration::ZERO);
+        let [t0, t1, t2, t3] = sp.boundaries();
+        assert!(t0 <= t1 && t1 <= t2 && t2 <= t3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # apenet-obs — the observability plane
+//!
+//! The paper's evaluation is built on instrumentation: a PCIe bus
+//! analyzer interposed on the Gen2 link (Fig. 3) and Nios II cycle
+//! counters decomposing per-message latency (Fig. 4, Table 1). This
+//! crate is the reproduction's equivalent — a measurement substrate
+//! that every perf PR can use to prove where simulated nanoseconds go:
+//!
+//! * [`registry`] — a deterministic typed metrics registry (counters,
+//!   gauges, [`apenet_sim::stats::LogHistogram`]-backed latency
+//!   histograms, time-windowed bandwidth series) keyed by stable string
+//!   ids and snapshotted to sorted JSON.
+//! * [`breakdown`] — folds span-correlated [`apenet_sim::trace`]
+//!   records into per-message phase decompositions (post → fetch →
+//!   wire → delivery).
+//! * [`perfetto`] — exports those spans as Chrome/Perfetto
+//!   `trace_event` JSON keyed by simulated time, plus a dependency-free
+//!   JSON sanity parser and a nesting validator used by CI.
+//!
+//! Everything here is observation-only: sinks and registries never
+//! schedule events, so metrics-on and metrics-off runs are
+//! byte-identical (the golden-digest tests enforce this).
+
+pub mod breakdown;
+pub mod perfetto;
+pub mod registry;
+
+pub use registry::{global, BandwidthSeries, Counter, CounterSnapshot, Gauge, Histogram, Registry};

@@ -1,0 +1,519 @@
+//! Chrome/Perfetto `trace_event` JSON export of message spans.
+//!
+//! Produces the legacy `{"traceEvents": [...]}` format that both
+//! `chrome://tracing` and <https://ui.perfetto.dev> load. Timestamps are
+//! *simulated* microseconds; each source rank gets its own track (tid),
+//! with one complete ("X") slice per message span and its monotonic
+//! phase partition nested inside. Retransmit-carrying spans are marked
+//! with instant ("i") events so injected-fault runs are visible at a
+//! glance.
+//!
+//! The workspace is dependency-free, so this module also carries a
+//! minimal hand-rolled JSON parser ([`json_sanity`]) and a nesting
+//! validator ([`validate_nesting`]) that CI's trace-export smoke step
+//! runs against the generated file.
+
+use crate::breakdown::{self, SpanPhases};
+use apenet_sim::trace::TraceRecord;
+use std::fmt::Write as _;
+
+/// One `trace_event`. Times are integer simulated picoseconds; JSON
+/// serialization converts to the format's microsecond unit.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Slice/instant name.
+    pub name: String,
+    /// Phase: 'X' complete slice, 'i' instant, 'M' metadata.
+    pub ph: char,
+    /// Start time in simulated ps.
+    pub ts_ps: u64,
+    /// Duration in ps ('X' only).
+    pub dur_ps: u64,
+    /// Process id (always 1: the simulation).
+    pub pid: u32,
+    /// Thread id — one track per source rank.
+    pub tid: u64,
+    /// `key: value` argument pairs (values pre-rendered as JSON).
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    fn end_ps(&self) -> u64 {
+        self.ts_ps + self.dur_ps
+    }
+}
+
+const PID: u32 = 1;
+
+fn slice(name: String, tid: u64, start: u64, end: u64) -> TraceEvent {
+    TraceEvent {
+        name,
+        ph: 'X',
+        ts_ps: start,
+        dur_ps: end.saturating_sub(start),
+        pid: PID,
+        tid,
+        args: Vec::new(),
+    }
+}
+
+/// Export span-correlated `records` as trace events. Spanless records
+/// (bare interposer TLPs) are not exported — the analyzer report covers
+/// those; this view is the per-message timeline.
+pub fn export(records: &[TraceRecord]) -> Vec<TraceEvent> {
+    let spans = breakdown::collect(records);
+    let mut events = Vec::new();
+    let mut ranks: Vec<u32> = spans.iter().map(|s| s.span.src_rank()).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    for rank in &ranks {
+        events.push(TraceEvent {
+            name: "thread_name".into(),
+            ph: 'M',
+            ts_ps: 0,
+            dur_ps: 0,
+            pid: PID,
+            tid: *rank as u64 + 1,
+            args: vec![("name".into(), format!("\"rank {rank} tx\""))],
+        });
+    }
+    for sp in &spans {
+        events.extend(span_events(sp));
+    }
+    events
+}
+
+fn span_events(sp: &SpanPhases) -> Vec<TraceEvent> {
+    let tid = sp.span.src_rank() as u64 + 1;
+    let [t0, t1, t2, t3] = sp.boundaries().map(|t| t.as_ps());
+    let mut parent = slice(format!("msg {}", sp.span), tid, t0, t3.max(t0 + 1));
+    parent.args = vec![
+        ("len".into(), sp.msg_len.to_string()),
+        ("frames".into(), sp.frames.to_string()),
+        ("retransmits".into(), sp.retransmits.to_string()),
+        ("fetch_bytes".into(), sp.fetch_bytes.to_string()),
+    ];
+    let mut out = vec![parent];
+    // The phase partition: children tile [t0, t3] monotonically, so
+    // they always nest inside the parent and never overlap each other.
+    for (name, a, b) in [("tx-pipeline", t0, t1), ("link", t1, t2), ("rx", t2, t3)] {
+        if b > a {
+            out.push(slice(name.into(), tid, a, b));
+        }
+    }
+    if sp.retransmits > 0 {
+        out.push(TraceEvent {
+            name: format!("retransmits x{}", sp.retransmits),
+            ph: 'i',
+            ts_ps: t1,
+            dur_ps: 0,
+            pid: PID,
+            tid,
+            args: Vec::new(),
+        });
+    }
+    out
+}
+
+fn ts_us(ps: u64) -> String {
+    // Exact: ps -> µs is a /1e6 scale; render with 6 fractional digits
+    // so every distinct picosecond keeps a distinct, stable text form.
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Render events as a Chrome/Perfetto `trace_event` JSON document.
+pub fn to_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"ph\": \"{}\", \"ts\": {}, ",
+            escape(&e.name),
+            e.ph,
+            ts_us(e.ts_ps)
+        );
+        if e.ph == 'X' {
+            let _ = write!(out, "\"dur\": {}, ", ts_us(e.dur_ps));
+        }
+        if e.ph == 'i' {
+            out.push_str("\"s\": \"t\", ");
+        }
+        let _ = write!(out, "\"pid\": {}, \"tid\": {}", e.pid, e.tid);
+        if !e.args.is_empty() {
+            out.push_str(", \"args\": {");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", escape(k), v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Check that 'X' slices obey stack discipline per (pid, tid): every
+/// pair of slices on a track is either disjoint or properly contained.
+/// Returns the number of validated slices.
+pub fn validate_nesting(events: &[TraceEvent]) -> Result<usize, String> {
+    let mut tracks: std::collections::BTreeMap<(u32, u64), Vec<&TraceEvent>> =
+        std::collections::BTreeMap::new();
+    for e in events.iter().filter(|e| e.ph == 'X') {
+        tracks.entry((e.pid, e.tid)).or_default().push(e);
+    }
+    let mut checked = 0;
+    for ((pid, tid), mut evs) in tracks {
+        // Chrome's stacking order: by start time, longer slices first.
+        evs.sort_by(|a, b| a.ts_ps.cmp(&b.ts_ps).then(b.dur_ps.cmp(&a.dur_ps)));
+        let mut stack: Vec<&TraceEvent> = Vec::new();
+        for e in evs {
+            while let Some(top) = stack.last() {
+                if top.end_ps() <= e.ts_ps {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                if e.end_ps() > top.end_ps() {
+                    return Err(format!(
+                        "track pid={pid} tid={tid}: slice {:?} [{}..{}] straddles the \
+                         boundary of enclosing {:?} [{}..{}]",
+                        e.name,
+                        e.ts_ps,
+                        e.end_ps(),
+                        top.name,
+                        top.ts_ps,
+                        top.end_ps()
+                    ));
+                }
+            }
+            stack.push(e);
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// Minimal recursive-descent JSON well-formedness check (the workspace
+/// has no serde). Accepts exactly the RFC 8259 grammar; numbers are
+/// validated syntactically, not parsed.
+pub fn json_sanity(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {i}", i = *i)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *i));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *i)),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *i)),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *i));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !b.get(*i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {}", *i));
+                            }
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *i)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {}", *i)),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *i))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let mut digits = 0;
+    while b.get(*i).is_some_and(u8::is_ascii_digit) {
+        *i += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        let mut frac = 0;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        let mut exp = 0;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apenet_sim::trace::{kind, SpanId, TracePayload as P};
+    use apenet_sim::SimTime;
+
+    fn rec(at_ns: u64, k: &'static str, span: SpanId, payload: P) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_ps(at_ns * 1000),
+            source: "card",
+            kind: k,
+            span: Some(span),
+            payload,
+        }
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let mut v = Vec::new();
+        for (rank, base) in [(0u32, 0u64), (1, 500)] {
+            for seq in 0..2u64 {
+                let s = SpanId::from_msg(rank, seq);
+                let t = base + seq * 200;
+                v.push(rec(t + 10, kind::POST, s, P::Msg { len: 4096 }));
+                v.push(rec(
+                    t + 30,
+                    kind::FRAME_TX,
+                    s,
+                    P::Frame {
+                        seq,
+                        wire: 4200,
+                        retrans: false,
+                    },
+                ));
+                v.push(rec(
+                    t + 60,
+                    kind::FRAME_RX,
+                    s,
+                    P::Frame {
+                        seq,
+                        wire: 4200,
+                        retrans: false,
+                    },
+                ));
+                v.push(rec(t + 80, kind::DELIVERED, s, P::Msg { len: 4096 }));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn export_nests_and_serializes() {
+        let events = export(&sample_records());
+        // 4 spans x (1 parent + 3 phases) + 2 thread_name metadata.
+        assert_eq!(events.iter().filter(|e| e.ph == 'X').count(), 16);
+        assert_eq!(events.iter().filter(|e| e.ph == 'M').count(), 2);
+        let checked = validate_nesting(&events).expect("phases nest inside parents");
+        assert_eq!(checked, 16);
+        let json = to_json(&events);
+        json_sanity(&json).expect("export is well-formed JSON");
+        assert!(json.contains("\"msg r0#0\""));
+        assert!(json.contains("\"tx-pipeline\""));
+        // ts conversion: 10ns = 0.010000 us.
+        assert!(json.contains("\"ts\": 0.010000"));
+    }
+
+    #[test]
+    fn validator_rejects_straddling_slices() {
+        let a = slice("a".into(), 1, 0, 100);
+        let b = slice("b".into(), 1, 50, 150); // overlaps a's tail
+        assert!(validate_nesting(&[a.clone(), b]).is_err());
+        let c = slice("c".into(), 2, 50, 150); // different track: fine
+        assert_eq!(validate_nesting(&[a, c]).unwrap(), 2);
+    }
+
+    #[test]
+    fn json_sanity_accepts_and_rejects() {
+        json_sanity("{}").unwrap();
+        json_sanity("[1, 2.5, -3e4, \"x\\n\", true, null, {\"k\": []}]").unwrap();
+        json_sanity("  {\"a\": {\"b\": [1]}}  ").unwrap();
+        assert!(json_sanity("{").is_err());
+        assert!(json_sanity("{\"a\": }").is_err());
+        assert!(json_sanity("[1,]").is_err());
+        assert!(json_sanity("1 2").is_err());
+        assert!(json_sanity("\"unterminated").is_err());
+        assert!(json_sanity("12.").is_err());
+        assert!(
+            json_sanity("{\"inf\": Infinity}").is_err(),
+            "non-JSON floats rejected"
+        );
+    }
+
+    #[test]
+    fn instants_mark_retransmitting_spans() {
+        let s = SpanId::from_msg(0, 0);
+        let records = vec![
+            rec(10, kind::POST, s, P::Msg { len: 64 }),
+            rec(
+                20,
+                kind::FRAME_TX,
+                s,
+                P::Frame {
+                    seq: 0,
+                    wire: 100,
+                    retrans: false,
+                },
+            ),
+            rec(
+                40,
+                kind::FRAME_TX,
+                s,
+                P::Frame {
+                    seq: 0,
+                    wire: 100,
+                    retrans: true,
+                },
+            ),
+            rec(
+                60,
+                kind::FRAME_RX,
+                s,
+                P::Frame {
+                    seq: 0,
+                    wire: 100,
+                    retrans: false,
+                },
+            ),
+            rec(70, kind::DELIVERED, s, P::Msg { len: 64 }),
+        ];
+        let events = export(&records);
+        let inst: Vec<&TraceEvent> = events.iter().filter(|e| e.ph == 'i').collect();
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].name, "retransmits x1");
+        json_sanity(&to_json(&events)).unwrap();
+    }
+}

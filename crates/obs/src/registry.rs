@@ -1,0 +1,410 @@
+//! Deterministic typed metrics registry.
+//!
+//! Stable string ids map to typed metric slots. Handles are cheap
+//! `Arc` clones, so hot paths pay one relaxed atomic op per update and
+//! never touch the registry map again after the first lookup. The
+//! registry is `Send + Sync` (the parallel sweep harness runs clusters
+//! on worker threads), but it only *accumulates* — nothing in here can
+//! schedule simulation events, so metrics-on runs stay byte-identical
+//! with metrics-off runs.
+//!
+//! Snapshots are sorted (BTreeMap order) and rendered with fixed
+//! float precision, so two runs of the same schedule serialize to the
+//! same bytes — snapshot JSON is diffable and digestable like every
+//! other artifact in this repo.
+
+use apenet_sim::stats::LogHistogram;
+use apenet_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram backed by [`LogHistogram`] (power-of-two buckets).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<LogHistogram>>);
+
+impl Histogram {
+    /// Record one value (typically a duration in picoseconds).
+    pub fn record(&self, v: u64) {
+        self.0.lock().unwrap().record(v);
+    }
+
+    /// Record a simulated duration in picoseconds.
+    pub fn record_duration(&self, d: SimDuration) {
+        self.record(d.as_ps());
+    }
+
+    /// Run `f` against the underlying histogram (count, quantiles, ...).
+    pub fn with<R>(&self, f: impl FnOnce(&LogHistogram) -> R) -> R {
+        f(&self.0.lock().unwrap())
+    }
+}
+
+#[derive(Debug, Default)]
+struct BwInner {
+    /// window index (simulated ps / window_ps) -> bytes moved in it.
+    buckets: Mutex<BTreeMap<u64, u64>>,
+}
+
+/// Time-windowed bandwidth series: bytes accounted into fixed windows
+/// of simulated time. Deterministic because windows are integer
+/// divisions of the (integer-picosecond) simulated clock.
+#[derive(Debug, Clone)]
+pub struct BandwidthSeries {
+    window_ps: u64,
+    inner: Arc<BwInner>,
+}
+
+impl BandwidthSeries {
+    fn new(window: SimDuration) -> Self {
+        BandwidthSeries {
+            window_ps: window.as_ps().max(1),
+            inner: Arc::default(),
+        }
+    }
+
+    /// Account `bytes` into the window containing simulated time `at`.
+    pub fn record(&self, at: SimTime, bytes: u64) {
+        let idx = at.as_ps() / self.window_ps;
+        *self.inner.buckets.lock().unwrap().entry(idx).or_insert(0) += bytes;
+    }
+
+    /// Window length.
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_ps(self.window_ps)
+    }
+
+    /// `(window_index, bytes)` points in window order.
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        self.inner
+            .buckets
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Mean MB/s over one window's byte count.
+    pub fn mb_per_sec(&self, bytes: u64) -> f64 {
+        let secs = self.window_ps as f64 * 1e-12;
+        bytes as f64 / secs / 1e6
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Bandwidth(BandwidthSeries),
+}
+
+impl Slot {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+            Slot::Bandwidth(_) => "bandwidth",
+        }
+    }
+}
+
+/// Sorted point-in-time copy of every counter, used for deltas across a
+/// run (the repro-all `link_reliability` section) and equality asserts
+/// in the chaos suite.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot(pub BTreeMap<String, u64>);
+
+impl CounterSnapshot {
+    /// Value of `id`, or 0 when the counter was never registered.
+    pub fn get(&self, id: &str) -> u64 {
+        self.0.get(id).copied().unwrap_or(0)
+    }
+
+    /// Per-id difference `self - earlier` (counters are monotonic, so
+    /// this is the activity between the two snapshots). Ids absent from
+    /// `earlier` count from zero.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot(
+            self.0
+                .iter()
+                .map(|(k, &v)| (k.clone(), v - earlier.get(k)))
+                .collect(),
+        )
+    }
+
+    /// True when every counter is zero.
+    pub fn is_all_zero(&self) -> bool {
+        self.0.values().all(|&v| v == 0)
+    }
+}
+
+/// Typed metrics registry: stable string id -> metric slot.
+///
+/// Get-or-create semantics — asking for `counter("x")` twice yields two
+/// handles on the same atomic. Asking for the same id with a different
+/// type is a programming error and panics.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    slots: Arc<Mutex<BTreeMap<String, Slot>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (per-experiment scopes, tests).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn slot(&self, id: &str, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.lock().unwrap();
+        slots.entry(id.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Get or create the counter `id`.
+    pub fn counter(&self, id: &str) -> Counter {
+        match self.slot(id, || Slot::Counter(Counter::default())) {
+            Slot::Counter(c) => c,
+            other => panic!(
+                "metric id {id:?} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Get or create the gauge `id`.
+    pub fn gauge(&self, id: &str) -> Gauge {
+        match self.slot(id, || Slot::Gauge(Gauge::default())) {
+            Slot::Gauge(g) => g,
+            other => panic!(
+                "metric id {id:?} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Get or create the latency histogram `id`.
+    pub fn histogram(&self, id: &str) -> Histogram {
+        match self.slot(id, || Slot::Histogram(Histogram::default())) {
+            Slot::Histogram(h) => h,
+            other => panic!(
+                "metric id {id:?} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Get or create the bandwidth series `id` with the given window.
+    /// The window is fixed at creation; later calls reuse it.
+    pub fn bandwidth(&self, id: &str, window: SimDuration) -> BandwidthSeries {
+        match self.slot(id, || Slot::Bandwidth(BandwidthSeries::new(window))) {
+            Slot::Bandwidth(b) => b,
+            other => panic!(
+                "metric id {id:?} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Convenience: add `n` to counter `id` (creating it at zero first).
+    pub fn add(&self, id: &str, n: u64) {
+        self.counter(id).add(n);
+    }
+
+    /// Snapshot every counter (sorted by id).
+    pub fn counters(&self) -> CounterSnapshot {
+        let slots = self.slots.lock().unwrap();
+        CounterSnapshot(
+            slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Counter(c) => Some((k.clone(), c.get())),
+                    _ => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// Render every metric as sorted, fixed-precision JSON. Two runs of
+    /// the same deterministic schedule produce byte-identical output.
+    pub fn snapshot_json(&self) -> String {
+        let slots = self.slots.lock().unwrap();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        let mut bws = String::new();
+        for (id, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => {
+                    push_entry(&mut counters, id, &c.get().to_string());
+                }
+                Slot::Gauge(g) => {
+                    push_entry(&mut gauges, id, &g.get().to_string());
+                }
+                Slot::Histogram(h) => h.with(|h| {
+                    let body = format!(
+                        "{{\"count\": {}, \"p50_bound\": {}, \"p99_bound\": {}, \"max_bound\": {}}}",
+                        h.count(),
+                        h.quantile_bound(0.50),
+                        h.quantile_bound(0.99),
+                        h.quantile_bound(1.0),
+                    );
+                    push_entry(&mut hists, id, &body);
+                }),
+                Slot::Bandwidth(b) => {
+                    let pts: Vec<String> = b
+                        .points()
+                        .iter()
+                        .map(|&(i, bytes)| format!("[{i}, {bytes}, {:.3}]", b.mb_per_sec(bytes)))
+                        .collect();
+                    let body = format!(
+                        "{{\"window_us\": {:.3}, \"points\": [{}]}}",
+                        b.window().as_ps() as f64 * 1e-6,
+                        pts.join(", ")
+                    );
+                    push_entry(&mut bws, id, &body);
+                }
+            }
+        }
+        format!(
+            "{{\n  \"counters\": {{{counters}}},\n  \"gauges\": {{{gauges}}},\n  \"histograms\": {{{hists}}},\n  \"bandwidth\": {{{bws}}}\n}}\n"
+        )
+    }
+}
+
+fn push_entry(buf: &mut String, id: &str, body: &str) {
+    if !buf.is_empty() {
+        buf.push_str(", ");
+    }
+    buf.push_str(&format!("\"{id}\": {body}"));
+}
+
+/// The process-wide registry. Fault-free components must not touch it
+/// from hot paths (clean runs keep shared state untouched — see
+/// `Card::drop`); it exists so cross-cluster aggregates like repro-all's
+/// `link_reliability` section have one place to look.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let reg = Registry::new();
+        reg.counter("z.late").add(3);
+        reg.counter("a.early").incr();
+        reg.add("a.early", 1);
+        let snap = reg.counters();
+        assert_eq!(snap.get("a.early"), 2);
+        assert_eq!(snap.get("z.late"), 3);
+        assert_eq!(snap.get("never.registered"), 0);
+        let keys: Vec<&String> = snap.0.keys().collect();
+        assert_eq!(keys, ["a.early", "z.late"]);
+    }
+
+    #[test]
+    fn delta_since_subtracts_per_id() {
+        let reg = Registry::new();
+        reg.add("x", 5);
+        let before = reg.counters();
+        reg.add("x", 7);
+        reg.add("y", 2);
+        let d = reg.counters().delta_since(&before);
+        assert_eq!(d.get("x"), 7);
+        assert_eq!(d.get("y"), 2);
+        assert!(!d.is_all_zero());
+        assert!(reg.counters().delta_since(&reg.counters()).is_all_zero());
+    }
+
+    #[test]
+    fn handles_share_the_underlying_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("shared");
+        let b = reg.counter("shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+
+        let g = reg.gauge("depth");
+        g.set(9);
+        assert_eq!(reg.gauge("depth").get(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("oops");
+        reg.gauge("oops");
+    }
+
+    #[test]
+    fn histogram_and_bandwidth_render_deterministically() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.record(100);
+        h.record(1000);
+        let bw = reg.bandwidth("link0", SimDuration::from_us(10));
+        bw.record(SimTime::ZERO + SimDuration::from_us(5), 4096);
+        bw.record(SimTime::ZERO + SimDuration::from_us(15), 8192);
+        bw.record(SimTime::ZERO + SimDuration::from_us(16), 8192);
+        assert_eq!(bw.points(), vec![(0, 4096), (1, 16384)]);
+
+        let a = reg.snapshot_json();
+        let b = reg.snapshot_json();
+        assert_eq!(a, b, "snapshots must be byte-stable");
+        assert!(a.contains("\"lat\""));
+        assert!(a.contains("\"window_us\": 10.000"));
+        crate::perfetto::json_sanity(&a).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<BandwidthSeries>();
+    }
+}

@@ -1,7 +1,7 @@
 //! Bus-analyzer post-processing: turn interposer traces into the timing
 //! summary of the paper's Fig. 3.
 
-use apenet_sim::trace::TraceRecord;
+use apenet_sim::trace::{TracePayload, TraceRecord};
 use apenet_sim::{Bandwidth, SimDuration, SimTime};
 
 /// Summary statistics of a P2P read phase seen on the analyzer, mirroring
@@ -27,12 +27,10 @@ pub struct P2pReadSummary {
 }
 
 fn payload_of(rec: &TraceRecord) -> u64 {
-    // detail format: "len=<payload> wire=<wire> dir=<dir>"
-    rec.detail
-        .split_whitespace()
-        .find_map(|tok| tok.strip_prefix("len="))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    match rec.payload {
+        TracePayload::Tlp { len, .. } => len,
+        _ => 0,
+    }
 }
 
 /// Analyze an interposer capture of a single GPU-read phase.
@@ -103,7 +101,7 @@ pub fn render_trace(records: &[TraceRecord], limit: usize) -> String {
             "{:>14}  {:<6} {}",
             format!("{}", r.at),
             r.kind,
-            r.detail
+            r.payload
         );
     }
     if records.len() > limit {
@@ -121,7 +119,12 @@ mod tests {
             at: SimTime::ZERO + SimDuration::from_ns(at_ns),
             source: "interposer",
             kind,
-            detail: format!("len={len} wire={} dir=Up", len + 24),
+            span: None,
+            payload: TracePayload::Tlp {
+                len,
+                wire: len + 24,
+                up: true,
+            },
         }
     }
 

@@ -8,7 +8,7 @@
 
 use crate::link::{Dir, Link, LinkSpec, Reservation};
 use crate::tlp::{self, TlpKind};
-use apenet_sim::trace::SharedSink;
+use apenet_sim::trace::{SharedSink, SpanId, TracePayload};
 use apenet_sim::{SimDuration, SimTime};
 
 /// Identifies any node (root complex, switch, endpoint) in a fabric.
@@ -69,6 +69,9 @@ pub struct Fabric {
     nodes: Vec<Node>,
     links: Vec<Link>,
     analyzers: Vec<Option<SharedSink>>,
+    /// Message span stamped onto analyzer records (see
+    /// [`Fabric::set_span`]).
+    span: Option<SpanId>,
     /// Latency added once per QPI crossing.
     pub qpi_penalty: SimDuration,
 }
@@ -86,8 +89,16 @@ impl Fabric {
             nodes: Vec::new(),
             links: Vec::new(),
             analyzers: Vec::new(),
+            span: None,
             qpi_penalty: SimDuration::from_ns(400),
         }
+    }
+
+    /// Set the message span attributed to subsequent TLPs on any attached
+    /// analyzer (None clears it). Pure observation metadata: it never
+    /// affects timing, so callers may set it unconditionally.
+    pub fn set_span(&mut self, span: Option<SpanId>) {
+        self.span = span;
     }
 
     /// Add a root complex on CPU socket `socket`.
@@ -281,7 +292,12 @@ impl Fabric {
                                 res.arrive,
                                 "interposer",
                                 kind.mnemonic(),
-                                format!("len={payload} wire={wire} dir={dir:?}"),
+                                self.span,
+                                TracePayload::Tlp {
+                                    len: payload as u64,
+                                    wire,
+                                    up: dir == Dir::Up,
+                                },
                             );
                         }
                     }

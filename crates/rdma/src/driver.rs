@@ -7,8 +7,20 @@
 //! parameter that Fig. 10 plots.
 
 use apenet_core::packet::MsgId;
+use apenet_obs::{Counter, Registry};
 use apenet_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+
+/// Registry ids for the watchdog counters, so every consumer (chaos
+/// suite, repro harness, ad-hoc debugging) reads the same keys.
+pub mod metrics {
+    /// Total watchdog alarms raised (0 on every healthy run).
+    pub const FIRED: &str = "watchdog.fired";
+    /// Messages abandoned after `max_attempts` alarms.
+    pub const GAVE_UP: &str = "watchdog.gave_up";
+    /// Messages handed back to the application for re-issue.
+    pub const REISSUES: &str = "watchdog.reissues";
+}
 
 /// Completion-watchdog tuning.
 ///
@@ -62,6 +74,15 @@ pub struct Watchdog {
     pub fired: u64,
     /// Messages abandoned after `max_attempts` alarms.
     pub gave_up: u64,
+    /// Optional registry counters mirroring `fired`/`gave_up`/re-issues.
+    counters: Option<WatchdogCounters>,
+}
+
+#[derive(Debug, Clone)]
+struct WatchdogCounters {
+    fired: Counter,
+    gave_up: Counter,
+    reissues: Counter,
 }
 
 impl Watchdog {
@@ -72,7 +93,18 @@ impl Watchdog {
             armed: BTreeMap::new(),
             fired: 0,
             gave_up: 0,
+            counters: None,
         }
+    }
+
+    /// Mirror alarm activity into `reg` under the [`metrics`] ids, in
+    /// addition to the public `fired`/`gave_up` fields.
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        self.counters = Some(WatchdogCounters {
+            fired: reg.counter(metrics::FIRED),
+            gave_up: reg.counter(metrics::GAVE_UP),
+            reissues: reg.counter(metrics::REISSUES),
+        });
     }
 
     /// Start (or restart) the clock for `msg`.
@@ -118,13 +150,22 @@ impl Watchdog {
             let e = self.armed.get_mut(&msg).expect("just listed");
             e.alarms += 1;
             self.fired += 1;
+            if let Some(c) = &self.counters {
+                c.fired.incr();
+            }
             if e.alarms >= self.cfg.max_attempts {
                 self.armed.remove(&msg);
                 self.gave_up += 1;
+                if let Some(c) = &self.counters {
+                    c.gave_up.incr();
+                }
                 continue;
             }
             let shift = e.alarms.min(self.cfg.backoff_cap);
             e.deadline = now + SimDuration::from_ps(self.cfg.timeout.as_ps() << shift);
+            if let Some(c) = &self.counters {
+                c.reissues.incr();
+            }
             out.push(msg);
         }
         out
@@ -247,5 +288,36 @@ mod tests {
         wd.arm(msg, t1);
         assert_eq!(wd.next_deadline(), Some(t1 + SimDuration::from_us(5)));
         assert!(wd.expired(t1 + SimDuration::from_us(4)).is_empty());
+    }
+
+    #[test]
+    fn attached_registry_mirrors_alarm_activity() {
+        use apenet_sim::SimTime;
+        let reg = Registry::new();
+        let mut wd = Watchdog::new(WatchdogConfig {
+            timeout: SimDuration::from_us(10),
+            backoff_cap: 1,
+            max_attempts: 2,
+        });
+        wd.attach_metrics(&reg);
+        wd.arm(
+            MsgId {
+                src_rank: 1,
+                seq: 0,
+            },
+            SimTime::ZERO,
+        );
+
+        // Alarm 1 re-issues; alarm 2 hits max_attempts and gives up.
+        let t1 = SimTime::ZERO + SimDuration::from_us(10);
+        assert_eq!(wd.expired(t1).len(), 1);
+        let t2 = t1 + SimDuration::from_us(20);
+        assert!(wd.expired(t2).is_empty());
+
+        let snap = reg.counters();
+        assert_eq!(snap.get(metrics::FIRED), wd.fired);
+        assert_eq!(snap.get(metrics::GAVE_UP), wd.gave_up);
+        assert_eq!(snap.get(metrics::REISSUES), 1);
+        assert_eq!(wd.fired, 2);
     }
 }

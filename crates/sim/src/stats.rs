@@ -62,14 +62,15 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
-    /// Smallest observation (NaN-free only if inputs were).
-    pub fn min(&self) -> f64 {
-        self.min
+    /// Smallest observation, `None` when empty (never `±INFINITY`,
+    /// which would serialize as invalid JSON).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
     }
 
-    /// Largest observation.
-    pub fn max(&self) -> f64 {
-        self.max
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
     }
 }
 
@@ -246,8 +247,22 @@ mod tests {
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
-        assert_eq!(s.min(), 2.0);
-        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_online_stats_have_no_min_max() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None, "empty min must not be +INFINITY");
+        assert_eq!(s.max(), None, "empty max must not be -INFINITY");
+        assert_eq!(s.mean(), 0.0);
+        // One observation makes min == max == the observation.
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
     }
 
     #[test]
@@ -262,6 +277,62 @@ mod tests {
         assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 1), (1024, 1)]);
         assert!(h.quantile_bound(0.5) >= 2);
         assert!(h.quantile_bound(1.0) >= 1024);
+    }
+
+    #[test]
+    fn quantile_bound_edge_cases() {
+        // Empty histogram: every quantile bound is 0.
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile_bound(0.0), 0);
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
+
+        // Single value: every quantile lands in its bucket. 5 lives in
+        // bucket k=2 ([4, 8)), whose upper bound is 7.
+        let mut h = LogHistogram::new();
+        h.record(5);
+        assert_eq!(h.quantile_bound(0.0), 7, "q=0 still reports a bucket");
+        assert_eq!(h.quantile_bound(0.5), 7);
+        assert_eq!(h.quantile_bound(1.0), 7);
+
+        // q=0.0 with many buckets: target rounds up to the first
+        // non-empty bucket, not below it.
+        let mut h = LogHistogram::new();
+        h.record(100);
+        h.record(100_000);
+        assert_eq!(h.quantile_bound(0.0), 127);
+
+        // Top bucket k=63: `(2u64 << 63)` would overflow; the bound
+        // saturates to u64::MAX instead.
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_bound(0.5), u64::MAX);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+        let mut h = LogHistogram::new();
+        h.record(1u64 << 63);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn crossover_with_non_overlapping_grids() {
+        // a's grid [1, 4] sits entirely left of b's [10, 20]:
+        // interpolate clamps to b's first point, so the comparison is
+        // well-defined instead of extrapolating garbage.
+        let mut a = Series::new("a");
+        a.push(1.0, 5.0);
+        a.push(4.0, 3.0);
+        let mut b = Series::new("b");
+        b.push(10.0, 4.0);
+        b.push(20.0, 8.0);
+        // b clamps to y=4 on a's grid; a first dips to/below 4 at x=4.
+        assert_eq!(a.crossover_below(&b), Some(4.0));
+        // b (y >= 4) never falls below a's clamped tail (y=3).
+        assert_eq!(b.crossover_below(&a), None);
+
+        // Disjoint the other way round: a entirely right of b.
+        let mut right = Series::new("right");
+        right.push(100.0, 1.0);
+        assert_eq!(right.crossover_below(&b), Some(100.0), "b clamps to 8");
     }
 
     #[test]

@@ -16,6 +16,9 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> trace-export smoke (Perfetto exporter self-validates nesting + JSON)"
+cargo run --release --offline -q -p apenet-bench --bin trace-export
+
 echo "==> chaos soak (APENET_CHAOS_CASES=${APENET_CHAOS_CASES:-512} seeded fault schedules)"
 APENET_CHAOS_CASES="${APENET_CHAOS_CASES:-512}" \
     cargo test --release --offline -q -p apenet-cluster --test chaos

@@ -10,6 +10,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`sim`] | `apenet-sim` | DES engine, time, bandwidth, RNG, stats |
+//! | [`obs`] | `apenet-obs` | metrics registry, span breakdowns, Perfetto export |
 //! | [`pcie`] | `apenet-pcie` | PCIe fabric: TLPs, links, switches, analyzer |
 //! | [`gpu`] | `apenet-gpu` | GPU model: memory, P2P, BAR1, DMA, CUDA-ish API |
 //! | [`nic`] | `apenet-core` | the APEnet+ card: torus, router, NI, Nios II |
@@ -26,6 +27,7 @@ pub use apenet_cluster as cluster;
 pub use apenet_core as nic;
 pub use apenet_gpu as gpu;
 pub use apenet_ib as ib;
+pub use apenet_obs as obs;
 pub use apenet_pcie as pcie;
 pub use apenet_rdma as rdma;
 pub use apenet_sim as sim;
