@@ -310,6 +310,7 @@ impl HostProgram for BfsRank {
                 self.tx_seen_total += 1;
                 self.try_advance(node, api);
             }
+            HostIn::Fault(_) => {} // apps run on healthy clusters
             HostIn::Start => unreachable!(),
         }
     }

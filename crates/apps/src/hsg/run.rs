@@ -559,6 +559,7 @@ impl HostProgram for HsgRank {
                 self.tx_seen_total += 1;
                 self.maybe_finish_phase(node, api);
             }
+            HostIn::Fault(_) => {} // apps run on healthy clusters
             HostIn::Start => unreachable!("start handled by the actor"),
         }
     }

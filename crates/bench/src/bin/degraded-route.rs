@@ -1,0 +1,6 @@
+//! Regenerates the bandwidth-vs-failed-links sweep (see
+//! `apenet_bench::figs::degraded_route`).
+
+fn main() {
+    apenet_bench::figs::degraded_route::run();
+}

@@ -3,6 +3,7 @@
 pub mod bar1_ablation;
 pub mod bidir;
 pub mod chaos_sweep;
+pub mod degraded_route;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;

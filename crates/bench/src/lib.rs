@@ -19,6 +19,8 @@
 //! | `table4` | BFS TEPS strong scaling |
 //! | `fig12` | BFS per-task compute/communication break-down |
 //! | `latency-breakdown` | per-stage latency decomposition from span traces |
+//! | `chaos-sweep` | effective bandwidth vs. injected per-frame fault rate |
+//! | `degraded-route` | aggregate torus bandwidth vs. failed-link count |
 //! | `trace-export` | Perfetto `trace_event` JSON of a 2-node ping-pong |
 //! | `repro-all` | everything above, into `results/` |
 //!

@@ -17,32 +17,45 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 #[test]
 fn clean_links_reproduce_golden_outputs() {
-    let tmp = std::env::temp_dir().join(format!("apenet-golden-{}", std::process::id()));
-    std::fs::create_dir_all(&tmp).expect("results dir");
-    std::env::set_var("APENET_RESULTS", &tmp);
-    // Regenerate with span tracing enabled-then-discarded: observation
-    // must never perturb scheduling, so the digests must still match the
-    // committed trace-off outputs byte for byte.
-    std::env::set_var("APENET_TRACE", "ring:4096");
-    figs::fig04::run();
-    figs::fig06::run();
-    figs::table1::run();
-    std::env::remove_var("APENET_TRACE");
-    std::env::remove_var("APENET_RESULTS");
     // Digests of the committed pre-reliability-layer results/ files.
     let golden = [
         ("fig04.txt", 0x3cc1_5b14_0e58_09ad_u64),
         ("fig06.txt", 0xfebb_d2ba_7908_eca3),
         ("table1.txt", 0xd49b_2204_1a76_0189),
     ];
-    for (name, want) in golden {
-        let bytes = std::fs::read(tmp.join(name)).expect("generated output");
-        assert!(!bytes.is_empty());
-        assert_eq!(
-            fnv1a(&bytes),
-            want,
-            "{name} drifted from the committed golden output"
-        );
+    // Two regenerations: once as shipped, once with fault-aware routing
+    // enabled cluster-wide (`APENET_ROUTE_AROUND_FAULTS=1`). With no
+    // faults scheduled the fault plane must be pure dead code — same
+    // digests byte for byte. Both passes also run with span tracing
+    // enabled-then-discarded: observation must never perturb scheduling.
+    for fault_plane in [false, true] {
+        let tmp = std::env::temp_dir().join(format!(
+            "apenet-golden-{}-{}",
+            std::process::id(),
+            fault_plane as u8
+        ));
+        std::fs::create_dir_all(&tmp).expect("results dir");
+        std::env::set_var("APENET_RESULTS", &tmp);
+        std::env::set_var("APENET_TRACE", "ring:4096");
+        if fault_plane {
+            std::env::set_var("APENET_ROUTE_AROUND_FAULTS", "1");
+        }
+        figs::fig04::run();
+        figs::fig06::run();
+        figs::table1::run();
+        std::env::remove_var("APENET_TRACE");
+        std::env::remove_var("APENET_RESULTS");
+        std::env::remove_var("APENET_ROUTE_AROUND_FAULTS");
+        for (name, want) in golden {
+            let bytes = std::fs::read(tmp.join(name)).expect("generated output");
+            assert!(!bytes.is_empty());
+            assert_eq!(
+                fnv1a(&bytes),
+                want,
+                "{name} drifted from the committed golden output \
+                 (route_around_faults={fault_plane})"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&tmp);
     }
-    let _ = std::fs::remove_dir_all(&tmp);
 }

@@ -2,7 +2,7 @@
 
 use crate::msg::{CardActor, HostActor, HostIn, HostProgram, Msg, NodeCtx};
 use crate::node::{build_node, NodeConfig};
-use apenet_core::card::CardShared;
+use apenet_core::card::{CardIn, CardShared};
 use apenet_core::coord::{LinkDir, TorusDims};
 use apenet_core::torus::{Port, TorusLink};
 use apenet_gpu::cuda::CudaDevice;
@@ -125,6 +125,14 @@ impl ClusterBuilder {
                 }
             }
         }
+        // Hard kills arm the fault plane on every card up front (so link
+        // frames are windowed and replayable from t=0, not just after the
+        // cut lands) — chaos runs only, so clean-run timing is untouched.
+        if !plan.kills.is_empty() {
+            for node in &mut built {
+                node.card.arm_fault_plane();
+            }
+        }
         // Register actors: hosts first so cards can reference them.
         // Actor ids are assigned sequentially; we reserve [0, n) for cards
         // and [n, 2n) for hosts by adding cards first with placeholder
@@ -169,6 +177,30 @@ impl ClusterBuilder {
             assert_eq!(id, n + rank);
             hosts.push(id);
             sim.send(id, SimTime::ZERO, Msg::Host(HostIn::Start));
+        }
+        // Deliver scheduled cable cuts to BOTH endpoint cards: a cable has
+        // two ends, and each card must stop seeing traffic on its own port
+        // the instant the cut lands.
+        for kill in &plan.kills {
+            let coord = dims.coord_of(kill.rank as usize);
+            let far = dims.neighbor(coord, kill.dir);
+            if far == coord {
+                continue; // extent-1 ring: the port is a self-loop, no cable
+            }
+            sim.send(
+                cards[kill.rank as usize],
+                kill.at,
+                Msg::Card(CardIn::AdminLinkDown {
+                    port: Port::Link(kill.dir),
+                }),
+            );
+            sim.send(
+                cards[dims.rank_of(far)],
+                kill.at,
+                Msg::Card(CardIn::AdminLinkDown {
+                    port: Port::Link(kill.dir.opposite()),
+                }),
+            );
         }
         Cluster {
             sim,

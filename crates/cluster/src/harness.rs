@@ -1008,6 +1008,21 @@ pub struct ChaosReport {
     pub watchdog_fired: u64,
     /// Messages re-issued by the watchdog path.
     pub watchdog_reissues: u64,
+    /// Messages the watchdog escalated to typed error completions after
+    /// exhausting its re-issue budget (unreachable destinations).
+    pub watchdog_failed: u64,
+    /// Error completions recorded across all completion queues.
+    pub error_completions: u64,
+    /// Card ports declared dead (2 per killed cable: one per endpoint).
+    pub dead_links: u64,
+    /// Packets routed the long way round a dead ring arc.
+    pub detours: u64,
+    /// Packets dropped because every arc to their destination was dead.
+    pub unreachable_drops: u64,
+    /// In-flight frames moved from dead ports onto detour routes.
+    pub requeued: u64,
+    /// End-to-end duplicate fragments suppressed at destinations.
+    pub rx_dup_fragments: u64,
     /// Link-layer replays across all cards.
     pub retransmits: u64,
     /// Retransmit-timer expirations that triggered a replay.
@@ -1040,6 +1055,9 @@ struct ChaosShared {
     descs: std::collections::BTreeMap<apenet_core::packet::MsgId, apenet_core::card::TxDesc>,
     /// Expired messages routed back to their source rank for re-issue.
     reissue: Vec<std::collections::VecDeque<apenet_core::card::TxDesc>>,
+    /// Escalated messages routed back to their source rank, to complete
+    /// with a typed error on that rank's completion queue.
+    failed: Vec<std::collections::VecDeque<apenet_core::packet::MsgId>>,
 }
 
 struct ChaosRank {
@@ -1064,20 +1082,36 @@ fn chaos_byte(src_rank: u32, off: u64) -> u8 {
 }
 
 impl ChaosRank {
-    fn pump(&mut self, api: &mut HostApi<'_, '_>) {
+    fn pump(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
         let mut sh = self.shared.borrow_mut();
         // Route every globally-expired message to its source rank (the
         // watchdog re-armed each with a backed-off deadline), then drain
-        // this rank's own queue.
-        for msg in sh.watchdog.expired(api.now) {
+        // this rank's own queues. Escalated messages complete with a
+        // typed error on their source rank's completion queue — the
+        // watchdog's bounded give-up is never a silent drop.
+        let ex = sh.watchdog.poll_expired(api.now);
+        for msg in ex.reissue {
             let desc = sh.descs[&msg].clone();
             sh.reissue[msg.src_rank as usize].push_back(desc);
+        }
+        for msg in ex.failed {
+            sh.failed[msg.src_rank as usize].push_back(msg);
         }
         while let Some(desc) = sh.reissue[self.rank as usize].pop_front() {
             api.submit(SimDuration::ZERO, desc);
         }
+        while let Some(msg) = sh.failed[self.rank as usize].pop_front() {
+            node.cq.push_error(
+                msg,
+                api.now,
+                apenet_rdma::completion::CompletionError::Unreachable,
+            );
+        }
         // Keep polling while anything in the cluster is still armed.
-        if sh.watchdog.outstanding() > 0 || sh.reissue.iter().any(|q| !q.is_empty()) {
+        if sh.watchdog.outstanding() > 0
+            || sh.reissue.iter().any(|q| !q.is_empty())
+            || sh.failed.iter().any(|q| !q.is_empty())
+        {
             api.wake(self.poll, 0);
         }
     }
@@ -1122,14 +1156,14 @@ impl HostProgram for ChaosRank {
         }
     }
 
-    fn on_event(&mut self, ev: HostIn, _node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
         match ev {
             HostIn::Delivered { msg, .. } => {
                 let mut sh = self.shared.borrow_mut();
                 sh.delivered.insert(msg);
                 sh.watchdog.disarm(&msg);
             }
-            HostIn::Wake(_) if self.reissue => self.pump(api),
+            HostIn::Wake(_) if self.reissue => self.pump(node, api),
             _ => {}
         }
     }
@@ -1157,6 +1191,7 @@ pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> Chaos
         delivered: Default::default(),
         descs: Default::default(),
         reissue: (0..n).map(|_| Default::default()).collect(),
+        failed: (0..n).map(|_| Default::default()).collect(),
     }));
     let programs: Vec<Box<dyn HostProgram>> = (0..n)
         .map(|r| {
@@ -1219,9 +1254,11 @@ pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> Chaos
     let mut duplicates = 0;
     let mut quiesced = true;
     let mut last_delivery = SimTime::ZERO;
+    let mut error_completions = 0;
     for r in 0..n {
         let cq = &cluster.host(r).node.cq;
         duplicates += cq.duplicate_count();
+        error_completions += cq.error_count() as u64;
         if let Some(t) = cq.last_delivery() {
             last_delivery = last_delivery.max(t);
         }
@@ -1240,6 +1277,13 @@ pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> Chaos
         quiesced,
         watchdog_fired: metrics.get(wm::FIRED),
         watchdog_reissues: metrics.get(wm::REISSUES),
+        watchdog_failed: metrics.get(wm::UNREACHABLE),
+        error_completions,
+        dead_links: metrics.get(lm::LINK_DEAD),
+        detours: metrics.get(lm::ROUTE_DETOUR),
+        unreachable_drops: metrics.get(lm::ROUTE_UNREACHABLE),
+        requeued: metrics.get(lm::ROUTE_REQUEUED),
+        rx_dup_fragments: metrics.get(lm::RX_DUP_FRAGMENTS),
         retransmits: metrics.get(lm::RETRANSMITS),
         timeouts: metrics.get(lm::TIMEOUTS),
         dup_frames: metrics.get(lm::DUP_FRAMES),

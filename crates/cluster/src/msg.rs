@@ -1,7 +1,7 @@
 //! The cluster event type and the actors that adapt cards and hosts to
 //! the simulation engine.
 
-use apenet_core::card::{Card, CardIn, CardOut, TxDesc};
+use apenet_core::card::{Card, CardError, CardIn, CardOut, TxDesc};
 use apenet_core::coord::{Coord, TorusDims};
 use apenet_core::packet::MsgId;
 use apenet_core::torus::Port;
@@ -44,6 +44,9 @@ pub enum HostIn {
     },
     /// A self-scheduled wake-up.
     Wake(u64),
+    /// The local card raised a typed fault effect (dead link, unreachable
+    /// drop, RX-ring backpressure). Only ever sent on fault runs.
+    Fault(CardError),
 }
 
 /// The card actor: wraps the [`Card`] device and routes its effects.
@@ -52,6 +55,9 @@ pub struct CardActor {
     host: ActorId,
     /// Neighbour card actors by link direction index.
     pub neighbors: [Option<ActorId>; 6],
+    /// Every typed fault effect this card raised, in order (empty on
+    /// clean runs) — for post-run inspection by tests and harnesses.
+    pub errors: Vec<(SimTime, CardError)>,
     outbox: Outbox<CardOut>,
 }
 
@@ -62,6 +68,7 @@ impl CardActor {
             card,
             host,
             neighbors: [None; 6],
+            errors: Vec::new(),
             outbox: Outbox::new(),
         }
     }
@@ -111,6 +118,10 @@ impl Actor<Msg> for CardActor {
                 }
                 CardOut::TxComplete { msg } => {
                     ctx.send(self.host, delay, Msg::Host(HostIn::TxDone { msg }));
+                }
+                CardOut::Error(e) => {
+                    self.errors.push((ctx.now(), e));
+                    ctx.send(self.host, delay, Msg::Host(HostIn::Fault(e)));
                 }
             }
         }

@@ -2,7 +2,7 @@
 
 use apenet_core::card::{Card, CardShared, Firmware, GpuHandle};
 use apenet_core::config::CardConfig;
-use apenet_core::coord::{Coord, TorusDims};
+use apenet_core::coord::{Coord, LinkDir, TorusDims};
 use apenet_core::torus::Port;
 use apenet_gpu::cuda::CudaDevice;
 use apenet_gpu::mem::Memory;
@@ -15,9 +15,24 @@ use apenet_rdma::api::RdmaEndpoint;
 use apenet_rdma::completion::CompletionQueue;
 use apenet_rdma::driver::DriverConfig;
 use apenet_sim::fault::FaultSpec;
-use apenet_sim::{Bandwidth, SimDuration};
+use apenet_sim::{Bandwidth, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// A scheduled hard failure: cut the torus cable on `rank`'s `dir` port
+/// at simulated time `at`. The cluster builder delivers an admin
+/// link-down to *both* endpoint cards (a cable has two ends), after
+/// which every frame in flight on it is lost and the keepalive
+/// detectors escalate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkKill {
+    /// Rank owning the reference end of the cable.
+    pub rank: u32,
+    /// Direction of the cable from `rank`'s point of view.
+    pub dir: LinkDir,
+    /// Simulated time of the cut.
+    pub at: SimTime,
+}
 
 /// Which ports of which cards get fault injectors, and with what rates.
 ///
@@ -36,6 +51,9 @@ pub struct FaultPlan {
     /// Per-(rank, port) overrides, taking precedence over the uniform
     /// specs (e.g. one flaky cable in an otherwise healthy torus).
     pub overrides: Vec<(u32, Port, FaultSpec)>,
+    /// Scheduled hard link failures (cable cuts), delivered as admin
+    /// kills to both endpoint cards at the given times.
+    pub kills: Vec<LinkKill>,
 }
 
 impl Default for FaultPlan {
@@ -52,6 +70,7 @@ impl FaultPlan {
             links: FaultSpec::default(),
             loopback: FaultSpec::default(),
             overrides: Vec::new(),
+            kills: Vec::new(),
         }
     }
 
@@ -62,7 +81,26 @@ impl FaultPlan {
             links: spec,
             loopback: spec,
             overrides: Vec::new(),
+            kills: Vec::new(),
         }
+    }
+
+    /// Schedule a hard cut of the cable on `rank`'s `dir` port at `at`.
+    pub fn kill_link(mut self, rank: u32, dir: LinkDir, at: SimTime) -> Self {
+        self.kills.push(LinkKill { rank, dir, at });
+        self
+    }
+
+    /// Schedule a whole-node isolation at `at`: cut every distinct cable
+    /// touching `rank` in a torus of `dims` (self-loop rings of extent 1
+    /// have no cable and are skipped).
+    pub fn kill_node(mut self, rank: u32, coord: Coord, dims: TorusDims, at: SimTime) -> Self {
+        for dir in LinkDir::ALL {
+            if dims.neighbor(coord, dir) != coord {
+                self.kills.push(LinkKill { rank, dir, at });
+            }
+        }
+        self
     }
 
     /// The effective spec for one (rank, port).
@@ -83,6 +121,7 @@ impl FaultPlan {
         self.links.is_noop()
             && self.loopback.is_noop()
             && self.overrides.iter().all(|(_, _, s)| s.is_noop())
+            && self.kills.is_empty()
     }
 }
 
@@ -231,6 +270,19 @@ mod tests {
             plan.spec_for(2, Port::Link(LinkDir::Xm)),
             FaultSpec::corrupt(0.1)
         );
+    }
+
+    #[test]
+    fn kill_plans_are_not_noop() {
+        use apenet_core::coord::LinkDir;
+        let plan = FaultPlan::none().kill_link(0, LinkDir::Xp, SimTime::from_ps(10_000));
+        assert!(!plan.is_noop());
+        // 2x1x1: only the X ring is wired, and its two directions are two
+        // distinct cables — a node isolation cuts both.
+        let dims = TorusDims::new(2, 1, 1);
+        let iso = FaultPlan::none().kill_node(1, Coord::new(1, 0, 0), dims, SimTime::ZERO);
+        assert_eq!(iso.kills.len(), 2);
+        assert!(!iso.is_noop());
     }
 
     #[test]

@@ -51,7 +51,17 @@ pub fn cluster_i_chaos(seed: u64, spec: FaultSpec) -> NodeConfig {
         links: spec,
         loopback: FaultSpec::default(),
         overrides: Vec::new(),
+        kills: Vec::new(),
     };
+    cfg
+}
+
+/// Cluster I with the fault-tolerance plane compiled in *and active*:
+/// fault-aware routing on, ready for hard-kill schedules added via
+/// `cfg.faults.kills`. Soft-fault injectors stay off.
+pub fn cluster_i_hard_fault() -> NodeConfig {
+    let mut cfg = cluster_i_default();
+    cfg.card.route_around_faults = true;
     cfg
 }
 

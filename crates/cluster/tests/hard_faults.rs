@@ -1,0 +1,309 @@
+//! Hard-failure suite: dead-link detection, fault-aware rerouting and
+//! graceful resource exhaustion.
+//!
+//! Where the chaos suite injects *recoverable* faults (corruption,
+//! drops, stalls) and proves go-back-N hides them, this suite kills
+//! cables outright and proves the layer above:
+//!
+//! * a link killed mid-transfer still yields **exactly-once, byte-exact**
+//!   delivery — in-flight frames are requeued onto a detour route after
+//!   keepalive escalation declares the cable dead;
+//! * a **fully partitioned** node makes every RDMA op targeting it
+//!   complete with a **typed error** within the watchdog's bounded
+//!   escalation — no infinite retry, no panic, finite event stream;
+//! * a full RX event ring **backpressures** (holds completions, raises a
+//!   typed error) instead of dropping or panicking, and recovers when
+//!   the host reaps entries;
+//! * with the fault plane compiled in but **inactive**, a clean run is
+//!   timing-identical to the plane-off build.
+
+use apenet_cluster::cluster::ClusterBuilder;
+use apenet_cluster::harness::{chaos_run, ChaosParams, ChaosReport};
+use apenet_cluster::msg::{HostApi, HostIn, HostProgram, Msg, NodeCtx};
+use apenet_cluster::node::{FaultPlan, NodeConfig};
+use apenet_cluster::presets::{cluster_i_default, cluster_i_hard_fault};
+use apenet_core::card::{CardError, CardIn};
+use apenet_core::coord::{Coord, LinkDir, TorusDims};
+use apenet_rdma::api::SrcHint;
+use apenet_sim::fault::FaultSpec;
+use apenet_sim::{SimDuration, SimTime};
+
+fn us(n: u64) -> SimTime {
+    SimTime::from_ps(n * 1_000_000)
+}
+
+fn kill_run(dims: TorusDims, cfg: NodeConfig, p: ChaosParams) -> ChaosReport {
+    chaos_run(dims, cfg, p)
+}
+
+/// One cable killed mid-transfer on the Cluster I torus: every message
+/// still arrives exactly once and byte-exact, rerouted the long way
+/// round the broken ring, and both endpoint cards report the death.
+#[test]
+fn mid_transfer_link_kill_delivers_exactly_once_via_detour() {
+    let dims = TorusDims::new(4, 2, 1);
+    let mut cfg = cluster_i_hard_fault();
+    // Rank 0's +X cable dies 20 us in — well inside the transfer window
+    // of 4 x 64 KB per rank, so frames are in flight on it.
+    cfg.faults = FaultPlan::none().kill_link(0, LinkDir::Xp, us(20));
+    let r = kill_run(
+        dims,
+        cfg,
+        ChaosParams {
+            msgs_per_rank: 4,
+            msg_len: 64 * 1024,
+            watchdog_reissue: true,
+        },
+    );
+    assert_eq!(r.delivered, r.expected, "every message delivered");
+    assert_eq!(r.duplicates, 0, "no duplicate completions");
+    assert!(r.payload_ok, "payloads byte-exact after rerouting");
+    assert!(r.quiesced, "all cards drained despite the dead cable");
+    assert_eq!(r.dead_links, 2, "one port declared dead per cable end");
+    assert!(r.detours > 0, "traffic took the long way round");
+    assert!(r.requeued > 0, "in-flight frames moved off the dead port");
+    assert_eq!(r.watchdog_failed, 0, "card-level reroute beat the watchdog");
+    assert_eq!(r.error_completions, 0, "no host-visible failures");
+    assert_eq!(r.unreachable_drops, 0, "the torus stayed connected");
+}
+
+/// The kill schedule is part of the deterministic event stream: the same
+/// schedule replays to identical timing and identical counters.
+#[test]
+fn link_kill_runs_are_deterministic() {
+    let run = || {
+        let dims = TorusDims::new(4, 2, 1);
+        let mut cfg = cluster_i_hard_fault();
+        cfg.faults = FaultPlan::none().kill_link(2, LinkDir::Yp, us(35));
+        kill_run(
+            dims,
+            cfg,
+            ChaosParams {
+                msgs_per_rank: 3,
+                msg_len: 32 * 1024,
+                watchdog_reissue: true,
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.delivered, a.expected);
+    assert_eq!(a.end, b.end, "identical end time");
+    assert_eq!(a.last_delivery, b.last_delivery);
+    assert_eq!(a.retransmits, b.retransmits);
+    assert_eq!(a.detours, b.detours);
+    assert_eq!(a.requeued, b.requeued);
+    assert_eq!(a.dead_links, b.dead_links);
+}
+
+/// Hard kill on top of soft chaos: one cable dies while every link also
+/// corrupts/drops/stalls frames at random. Go-back-N absorbs the soft
+/// faults, the detour absorbs the hard one; the delivery contract holds.
+#[test]
+fn kill_during_soft_chaos_still_exactly_once() {
+    let dims = TorusDims::new(4, 2, 1);
+    let mut cfg = cluster_i_hard_fault();
+    cfg.faults = FaultPlan::uniform(
+        0xDEC0DE,
+        FaultSpec {
+            corrupt_rate: 1.0 / 200.0,
+            drop_rate: 1.0 / 200.0,
+            stall_rate: 1.0 / 500.0,
+            stall_min: SimDuration::from_ns(500),
+            stall_max: SimDuration::from_us(5),
+        },
+    )
+    .kill_link(0, LinkDir::Xp, us(50));
+    cfg.faults.loopback = FaultSpec::default();
+    let r = kill_run(
+        dims,
+        cfg,
+        ChaosParams {
+            msgs_per_rank: 3,
+            msg_len: 48 * 1024,
+            watchdog_reissue: true,
+        },
+    );
+    assert_eq!(r.delivered, r.expected, "soft+hard: every message lands");
+    assert_eq!(r.duplicates, 0);
+    assert!(r.payload_ok);
+    assert!(r.quiesced);
+    assert_eq!(r.dead_links, 2);
+}
+
+/// A node cut off from the torus entirely: PUTs targeting it complete
+/// with a typed `Unreachable` error within the watchdog's closed-form
+/// escalation bound. Nothing retries forever, nothing panics, and the
+/// run terminates (a hung event stream would never return).
+#[test]
+fn fully_partitioned_node_fails_puts_with_typed_error_within_bound() {
+    let dims = TorusDims::new(2, 1, 1);
+    let mut cfg = cluster_i_hard_fault();
+    // Both distinct cables of the 2-ring die 10 us in, isolating rank 1
+    // while most of the 4 x 32 KB per rank is still untransmitted.
+    cfg.faults = FaultPlan::none().kill_node(1, dims.coord_of(1), dims, us(10));
+    let wd = cfg.driver.watchdog.clone();
+    let r = kill_run(
+        dims,
+        cfg,
+        ChaosParams {
+            msgs_per_rank: 4,
+            msg_len: 32 * 1024,
+            watchdog_reissue: true,
+        },
+    );
+    // Every message either delivered (before the cut) or failed with a
+    // typed error — none lost silently, none retried forever.
+    assert_eq!(
+        r.delivered + r.error_completions,
+        r.expected,
+        "delivered + typed errors account for every message"
+    );
+    assert!(r.error_completions > 0, "the partition failed some PUTs");
+    assert_eq!(
+        r.watchdog_failed, r.error_completions,
+        "every escalation became exactly one error completion"
+    );
+    assert_eq!(r.duplicates, 0);
+    assert!(r.payload_ok, "delivered payloads still byte-exact");
+    assert_eq!(r.dead_links, 4, "both ends of both cables retired");
+    assert!(r.unreachable_drops > 0, "routing declared the dead end");
+    // Escalation bound: max_attempts alarms with capped exponential
+    // backoff, plus the harness's poll granularity per alarm.
+    let mut bound = r.last_delivery.max(us(10));
+    let poll = SimDuration::from_ps(wd.timeout.as_ps() / 4);
+    for k in 0..wd.max_attempts {
+        let shift = k.min(wd.backoff_cap);
+        bound = bound + SimDuration::from_ps(wd.timeout.as_ps() << shift) + poll;
+    }
+    assert!(
+        r.end <= bound,
+        "typed errors within the escalation bound: end {:?} > bound {:?}",
+        r.end,
+        bound
+    );
+}
+
+// ---------------------------------------------------------------------------
+// RX event-ring exhaustion: credit backpressure, typed error, recovery.
+// ---------------------------------------------------------------------------
+
+/// Rank 0 streams `msgs` PUTs to rank 1; rank 1 is a pure receiver.
+/// Buffers are allocated in the same order on both ranks, so the sender
+/// can address peer memory without an exchange (chaos-harness idiom).
+struct Streamer {
+    msgs: u32,
+    len: u64,
+    peer: Coord,
+    send: bool,
+}
+
+impl HostProgram for Streamer {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let region = self.msgs as u64 * self.len;
+        let rx = node.cuda[0].borrow_mut().malloc(region).unwrap();
+        node.ep.register(rx, region).unwrap();
+        if !self.send {
+            return;
+        }
+        let tx = node.cuda[0].borrow_mut().malloc(region).unwrap();
+        node.ep.register(tx, region).unwrap();
+        for i in 0..self.msgs {
+            let off = i as u64 * self.len;
+            let out = node
+                .ep
+                .put(tx + off, self.len, self.peer, rx + off, SrcHint::Gpu)
+                .unwrap();
+            api.submit(out.host_cost, out.desc);
+        }
+    }
+
+    fn on_event(&mut self, _ev: HostIn, _node: &mut NodeCtx, _api: &mut HostApi<'_, '_>) {}
+}
+
+#[test]
+fn rx_ring_exhaustion_backpressures_then_recovers() {
+    let dims = TorusDims::new(2, 1, 1);
+    let mut cfg = cluster_i_hard_fault();
+    // A one-entry RX event ring on every card: the second completed
+    // message at the receiver has nowhere to post its event.
+    cfg.card.rx_ring_entries = Some(1);
+    let programs: Vec<Box<dyn HostProgram>> = vec![
+        Box::new(Streamer {
+            msgs: 3,
+            len: 4096,
+            peer: dims.coord_of(1),
+            send: true,
+        }),
+        Box::new(Streamer {
+            msgs: 3,
+            len: 4096,
+            peer: dims.coord_of(0),
+            send: false,
+        }),
+    ];
+    let mut cluster = ClusterBuilder::new(dims, cfg).build(programs);
+    let end = cluster.run();
+
+    // Phase 1 — exhaustion: one delivery fills the ring; the other two
+    // complete in the card but are held behind credit backpressure, each
+    // raising a typed RxRingFull error. Nothing is dropped, nothing
+    // panics, and the card reports itself un-quiesced (held events).
+    assert_eq!(cluster.host(1).node.cq.delivered_count(), 1);
+    let stalls: Vec<_> = cluster
+        .card(1)
+        .errors
+        .iter()
+        .filter(|(_, e)| matches!(e, CardError::RxRingFull { .. }))
+        .collect();
+    assert_eq!(stalls.len(), 2, "two completions hit the full ring");
+    assert_eq!(cluster.card(1).card().stats.rx_ring_stalls, 2);
+    assert!(!cluster.card(1).card().quiesced(), "held events pending");
+
+    // Phase 2 — recovery: the host reaps ring entries one at a time;
+    // each pop releases exactly one held completion.
+    let card1 = cluster.cards[1];
+    for i in 0..3u64 {
+        cluster.sim.send(
+            card1,
+            end + SimDuration::from_us(10 * (i + 1)),
+            Msg::Card(CardIn::RxRingPop { n: 1 }),
+        );
+    }
+    cluster.run();
+    assert_eq!(cluster.host(1).node.cq.delivered_count(), 3);
+    assert_eq!(cluster.host(1).node.cq.duplicate_count(), 0);
+    assert!(
+        cluster.card(1).card().quiesced(),
+        "ring drained, card clean"
+    );
+}
+
+/// With no faults scheduled, the fault plane being compiled in and even
+/// *enabled* changes nothing: keepalives only ride fault-run timers, so
+/// a clean run is event-for-event identical to the plane-off build.
+#[test]
+fn clean_run_timing_identical_with_plane_on_and_off() {
+    let run = |cfg: NodeConfig| {
+        kill_run(
+            TorusDims::new(4, 2, 1),
+            cfg,
+            ChaosParams {
+                msgs_per_rank: 2,
+                msg_len: 64 * 1024,
+                watchdog_reissue: false,
+            },
+        )
+    };
+    let off = run(cluster_i_default());
+    let on = run(cluster_i_hard_fault());
+    assert_eq!(on.end, off.end, "identical end time");
+    assert_eq!(on.last_delivery, off.last_delivery);
+    assert_eq!(on.delivered, off.delivered);
+    for r in [&on, &off] {
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.dead_links, 0);
+        assert_eq!(r.detours, 0);
+        assert_eq!(r.timeouts, 0, "clean runs arm no timers at all");
+    }
+}

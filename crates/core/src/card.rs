@@ -8,7 +8,7 @@
 //! PCIe fabric and GPU models.
 
 use crate::config::{CardConfig, GpuReadMethod, GpuTxVersion, TxSinkMode};
-use crate::coord::{Coord, LinkDir, TorusDims};
+use crate::coord::{Coord, FaultMap, LinkDir, RouteChoice, TorusDims};
 use crate::gpu_tx::FetchPlan;
 use crate::nios::{BufEntry, BufKind, BufList, GpuV2p, HostV2p, Nios, PageDesc};
 use crate::packet::{ApePacket, MsgId, APE_MAX_PAYLOAD};
@@ -26,8 +26,7 @@ use apenet_sim::rng::Xoshiro256ss;
 use apenet_sim::trace::{kind as tk, SharedSink, TracePayload};
 use apenet_sim::{Bandwidth, ByteFifo, Device, Outbox, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 /// A local GPU as seen by the card: its PCIe endpoint and device model.
@@ -64,10 +63,21 @@ impl Firmware {
 
     /// Register a host buffer (driver side of the registration call).
     pub fn register_host(&mut self, vaddr: u64, len: u64, pid: u32) -> usize {
+        self.try_register_host(vaddr, len, pid)
+            .expect("BUF_LIST full")
+    }
+
+    /// Fallible host registration: a full BUF_LIST rejects the request
+    /// before any V2P state is touched, so the host can unregister a
+    /// buffer and retry.
+    pub fn try_register_host(&mut self, vaddr: u64, len: u64, pid: u32) -> Option<usize> {
+        if self.buf_list.is_full() {
+            return None;
+        }
         for page in (vaddr..vaddr + len.max(1)).step_by(apenet_gpu::HOST_PAGE_SIZE as usize) {
             self.host_v2p.insert(page, page); // identity "physical" model
         }
-        self.buf_list.register(BufEntry {
+        self.buf_list.try_register(BufEntry {
             vaddr,
             len,
             kind: BufKind::Host,
@@ -84,6 +94,21 @@ impl Firmware {
         len: u64,
         pid: u32,
     ) -> usize {
+        self.try_register_gpu(gpu, vaddr, len, pid)
+            .expect("BUF_LIST full")
+    }
+
+    /// Fallible GPU registration (see [`Firmware::try_register_host`]).
+    pub fn try_register_gpu(
+        &mut self,
+        gpu: apenet_gpu::GpuId,
+        vaddr: u64,
+        len: u64,
+        pid: u32,
+    ) -> Option<usize> {
+        if self.buf_list.is_full() {
+            return None;
+        }
         let table = &mut self.gpu_v2p[gpu.0 as usize];
         let first = vaddr / GPU_PAGE_SIZE;
         let last = (vaddr + len.max(1) - 1) / GPU_PAGE_SIZE;
@@ -96,7 +121,7 @@ impl Firmware {
                 },
             );
         }
-        self.buf_list.register(BufEntry {
+        self.buf_list.try_register(BufEntry {
             vaddr,
             len,
             kind: BufKind::Gpu(gpu),
@@ -180,6 +205,47 @@ pub enum CardIn {
     },
     /// The TX FIFO head finished serializing; advance the drain.
     DrainNext,
+    /// Administrative hard kill of `port`'s cable, scheduled by chaos
+    /// plans at a chosen simulated time (both cable endpoints get one).
+    /// The port immediately stops carrying traffic in both directions;
+    /// *detecting* that is the keepalive plane's job.
+    AdminLinkDown {
+        /// The killed port.
+        port: Port,
+    },
+    /// The host reaped `n` entries from the RX event ring, freeing slots
+    /// for held-back completions (bounded-ring configurations only).
+    RxRingPop {
+        /// Entries reaped.
+        n: u32,
+    },
+}
+
+/// Typed failure effects: conditions that used to be panics or silent
+/// drops, surfaced as events the host side can observe. Each is also
+/// mirrored in a [`CardStats`] counter and a [`metrics`] id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardError {
+    /// A torus port was declared dead (keepalive escalation or a
+    /// neighbour's `LinkDown` about a shared cable).
+    LinkDead {
+        /// The dead port's direction.
+        dir: LinkDir,
+    },
+    /// A packet was dropped because no usable route to `dst` remains:
+    /// both arcs of a ring are cut, or the direction is unwired.
+    Unreachable {
+        /// The message the dropped packet belonged to.
+        msg: MsgId,
+        /// Its destination node.
+        dst: Coord,
+    },
+    /// The RX event ring is full: the completion for `msg` is held back
+    /// (never lost) until the host pops entries.
+    RxRingFull {
+        /// The backpressured message.
+        msg: MsgId,
+    },
 }
 
 /// Effects produced by the card, routed by the cluster layer.
@@ -211,6 +277,9 @@ pub enum CardOut {
         /// Message id.
         msg: MsgId,
     },
+    /// A typed failure effect (dead link, unreachable destination, RX
+    /// event-ring backpressure) — failures are visible, never silent.
+    Error(CardError),
 }
 
 /// Per-port link-layer counters: retransmission activity and injected
@@ -279,9 +348,24 @@ pub mod metrics {
     pub const STALL_PS: &str = "link.stall_ps";
     /// Frames lost to CRC failure (kill-switch mode only).
     pub const CRC_DROPPED: &str = "link.crc_dropped";
+    /// Ports declared dead (keepalive escalation or a neighbour's
+    /// link-state notification about a shared cable).
+    pub const LINK_DEAD: &str = "link.dead";
+    /// Routing decisions that detoured off the strict dimension-order
+    /// direction to avoid a dead link.
+    pub const ROUTE_DETOUR: &str = "route.detour";
+    /// Packets dropped because both arcs of a ring were cut.
+    pub const ROUTE_UNREACHABLE: &str = "route.unreachable_drops";
+    /// Frames moved off a dead port's replay/pending queues onto detours.
+    pub const ROUTE_REQUEUED: &str = "route.requeued";
+    /// Duplicate fragments suppressed end-to-end (a detour re-delivered a
+    /// fragment whose first copy arrived before the cable died).
+    pub const RX_DUP_FRAGMENTS: &str = "rx.dup_fragments";
+    /// Completions held back by RX event-ring backpressure.
+    pub const RX_RING_STALL: &str = "rx.ring_stall";
 
     /// Every link-reliability id, in reporting order.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 15] = [
         RETRANSMITS,
         TIMEOUTS,
         NAKS_SENT,
@@ -291,6 +375,12 @@ pub mod metrics {
         INJECTED_STALLS,
         STALL_PS,
         CRC_DROPPED,
+        LINK_DEAD,
+        ROUTE_DETOUR,
+        ROUTE_UNREACHABLE,
+        ROUTE_REQUEUED,
+        RX_DUP_FRAGMENTS,
+        RX_RING_STALL,
     ];
 }
 
@@ -313,6 +403,20 @@ pub struct CardStats {
     pub crc_dropped: u64,
     /// Packets dropped because no registered buffer matched.
     pub rx_unmatched: u64,
+    /// Ports this card declared dead (keepalive escalation or a
+    /// neighbour's notification about a shared cable).
+    pub links_dead: u64,
+    /// Routing decisions that detoured off the strict dimension-order
+    /// direction to avoid a dead link.
+    pub detours: u64,
+    /// Packets dropped because both arcs of a ring were cut.
+    pub unreachable_drops: u64,
+    /// Frames moved off a dead port's replay/pending queues onto detours.
+    pub requeued: u64,
+    /// Duplicate fragments suppressed end-to-end after a detour.
+    pub rx_dup_fragments: u64,
+    /// Completions held back because the RX event ring was full.
+    pub rx_ring_stalls: u64,
     /// Per-port link-layer counters (six torus directions + loop-back).
     pub links: [LinkStats; NUM_PORTS],
 }
@@ -341,6 +445,19 @@ struct TxJob {
     desc: TxDesc,
     plan: FetchPlan,
     pushed: u64,
+}
+
+/// Reassembly state of one partially received message.
+#[derive(Debug)]
+struct RxProgress {
+    /// Payload bytes accepted so far.
+    bytes: u64,
+    /// Lowest fragment `dst_vaddr` seen (the message base).
+    base: u64,
+    /// Fragment addresses already accepted — end-to-end deduplication for
+    /// the fault plane: a requeued detour can re-deliver a fragment whose
+    /// first copy crossed the cable just before it died.
+    got: BTreeSet<u64>,
 }
 
 /// Transmit side of one port's go-back-N channel.
@@ -402,7 +519,31 @@ pub struct Card {
     staged_pending: u64,
     outstanding_total: u64,
     draining: bool,
-    rx_msgs: HashMap<MsgId, (u64, u64)>, // received bytes, lowest dst_vaddr seen
+    rx_msgs: HashMap<MsgId, RxProgress>,
+    /// Messages fully delivered — the other half of the end-to-end
+    /// duplicate suppression: a detour can re-deliver a fragment after
+    /// its message already completed.
+    rx_done: HashSet<MsgId>,
+    /// RX event-ring occupancy: completions the host has not reaped yet
+    /// (only tracked when `cfg.rx_ring_entries` bounds the ring).
+    rx_ring_used: u32,
+    /// Completions held back by a full RX event ring, with the time the
+    /// notification write finished: `(note_done, msg, dst_vaddr, len)`.
+    rx_ring_held: VecDeque<(SimTime, MsgId, u64, u64)>,
+    /// Physically severed cables (admin kill): TX is swallowed, RX is
+    /// ignored. The card does not *know* — detection is the keepalive
+    /// plane's job.
+    cable_cut: [bool; NUM_PORTS],
+    /// Ports this card has declared dead (own keepalive escalation or a
+    /// neighbour's `LinkDown` about a shared cable). Dead ports never
+    /// re-arm timers, so the event stream stays bounded.
+    port_dead: [bool; NUM_PORTS],
+    /// Unanswered keepalive probes per port; any ingress traffic resets.
+    probes: [u32; NUM_PORTS],
+    /// Nonce source for keepalive pings.
+    ping_nonce: u64,
+    /// The mesh-wide dead-link map this card has converged on.
+    fault_map: FaultMap,
     link_tx: [LinkTxState; NUM_PORTS],
     link_rx: [LinkRxState; NUM_PORTS],
     injectors: [Option<FaultInjector>; NUM_PORTS],
@@ -445,6 +586,14 @@ impl Card {
             outstanding_total: 0,
             draining: false,
             rx_msgs: HashMap::new(),
+            rx_done: HashSet::new(),
+            rx_ring_used: 0,
+            rx_ring_held: VecDeque::new(),
+            cable_cut: [false; NUM_PORTS],
+            port_dead: [false; NUM_PORTS],
+            probes: [0; NUM_PORTS],
+            ping_nonce: 0,
+            fault_map: FaultMap::new(),
             link_tx: std::array::from_fn(|_| LinkTxState::default()),
             link_rx: std::array::from_fn(|_| LinkRxState::default()),
             injectors: std::array::from_fn(|_| None),
@@ -476,6 +625,12 @@ impl Card {
         reg.add(metrics::INJECTED_STALLS, t.injected_stalls);
         reg.add(metrics::STALL_PS, t.stall_ps);
         reg.add(metrics::CRC_DROPPED, t.crc_dropped);
+        reg.add(metrics::LINK_DEAD, self.stats.links_dead);
+        reg.add(metrics::ROUTE_DETOUR, self.stats.detours);
+        reg.add(metrics::ROUTE_UNREACHABLE, self.stats.unreachable_drops);
+        reg.add(metrics::ROUTE_REQUEUED, self.stats.requeued);
+        reg.add(metrics::RX_DUP_FRAGMENTS, self.stats.rx_dup_fragments);
+        reg.add(metrics::RX_RING_STALL, self.stats.rx_ring_stalls);
     }
 
     /// Wire the outgoing torus link for `dir`.
@@ -495,6 +650,20 @@ impl Card {
         self.injectors[port.index()].as_ref()
     }
 
+    /// Arm the fault plane without attaching an injector: admin kill
+    /// schedules need windows and retransmit timers live from the start,
+    /// exactly like injected chaos, or the first in-flight frames on a
+    /// killed cable would never time out.
+    pub fn arm_fault_plane(&mut self) {
+        self.fault_active = true;
+    }
+
+    /// The mesh-wide dead-link map this card has converged on (empty on
+    /// healthy runs; tests assert convergence across cards through it).
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.fault_map
+    }
+
     /// True when no datapath or link-layer state is in flight: no TX
     /// jobs, empty staging and TX FIFOs, every port's replay and pending
     /// queues drained, and no partially received messages. The chaos
@@ -505,6 +674,7 @@ impl Card {
             && self.push_wait.is_empty()
             && self.tx_fifo.is_empty()
             && self.rx_msgs.is_empty()
+            && self.rx_ring_held.is_empty()
             && self
                 .link_tx
                 .iter()
@@ -899,12 +1069,28 @@ impl Card {
                 }
             }
             Port::Link(dir) => {
-                let link = self.links_out[dir.index()]
-                    .as_ref()
-                    .expect("torus link wired")
-                    .clone();
+                let Some(link) = self.links_out[dir.index()].as_ref().cloned() else {
+                    // An unwired direction (a mis-built cluster) used to
+                    // be a panic; surface it and keep the drain alive.
+                    self.stats.unreachable_drops += 1;
+                    out.push(
+                        SimDuration::ZERO,
+                        CardOut::Error(CardError::Unreachable {
+                            msg: wire.msg,
+                            dst: wire.dst,
+                        }),
+                    );
+                    if from_drain {
+                        out.push(SimDuration::ZERO, CardOut::ToSelf(CardIn::DrainNext));
+                    }
+                    return;
+                };
                 let slot = link.borrow_mut().reserve(ready, wire.wire_bytes());
-                if !dropped {
+                // A cut or declared-dead cable swallows the frame: the
+                // SerDes still burns its serialization slot (the card
+                // does not know yet), but nothing reaches the far end.
+                let swallowed = dropped || self.cable_cut[pi] || self.port_dead[pi];
+                if !swallowed {
                     out.push(
                         slot.arrive.since(now),
                         CardOut::TorusSend {
@@ -929,6 +1115,9 @@ impl Card {
     /// data wire slots, so healthy-run data timing is untouched.
     fn send_control(&mut self, port: Port, msg: LinkMsg, out: &mut Outbox<CardOut>) {
         let pi = port.index();
+        if self.cable_cut[pi] || self.port_dead[pi] {
+            return; // the cable is gone: control symbols vanish with it
+        }
         if let Some(inj) = self.injectors[pi].as_mut() {
             if inj.control_frame() {
                 self.stats.links[pi].injected_drops += 1;
@@ -952,7 +1141,7 @@ impl Card {
     /// possible: a fault-free run never schedules one, so the reliability
     /// layer adds zero events to golden-timing runs.
     fn arm_timer(&mut self, port: Port, out: &mut Outbox<CardOut>) {
-        if !self.fault_active || !self.cfg.link_retrans {
+        if !self.fault_active || !self.cfg.link_retrans || self.port_dead[port.index()] {
             return;
         }
         let st = &mut self.link_tx[port.index()];
@@ -1024,6 +1213,9 @@ impl Card {
     /// *and* dropped ACK/NAK credits.
     fn handle_timeout(&mut self, port: Port, epoch: u64, now: SimTime, out: &mut Outbox<CardOut>) {
         let pi = port.index();
+        if self.port_dead[pi] {
+            return; // retired port; its frames were requeued already
+        }
         {
             let st = &mut self.link_tx[pi];
             if epoch != st.epoch {
@@ -1037,6 +1229,23 @@ impl Card {
             st.epoch += 1;
         }
         self.stats.links[pi].timeouts += 1;
+        // Keepalive escalation: a timeout means a whole (backed-off) RTO
+        // passed with no traffic back on this port — a dead cable and a
+        // neighbour stuck in go-back-N recovery look identical from here,
+        // so probe it. Any ingress on the port resets the count; enough
+        // consecutive silent RTOs and the port is declared dead.
+        if self.cfg.route_around_faults {
+            if let Port::Link(dir) = port {
+                self.probes[pi] += 1;
+                if self.probes[pi] >= self.cfg.keepalive_misses {
+                    self.declare_port_dead(dir, now, out);
+                    return;
+                }
+                let nonce = self.ping_nonce;
+                self.ping_nonce += 1;
+                self.send_control(port, LinkMsg::Ping { nonce }, out);
+            }
+        }
         self.replay_window(port, now, out);
         self.arm_timer(port, out);
     }
@@ -1177,11 +1386,11 @@ impl Card {
                     // Loop-back through the internal switch.
                     self.link_send(Port::Loopback, packet, now, now, true, out);
                 } else {
-                    let dir = self
-                        .dims
-                        .next_hop(self.coord, packet.dst)
-                        .expect("non-local packet has a route");
-                    self.link_send(Port::Link(dir), packet, now, now, true, out);
+                    match self.route_dir(packet.msg, packet.dst, out) {
+                        Some(dir) => self.link_send(Port::Link(dir), packet, now, now, true, out),
+                        // Dropped unreachable: free the drain slot at once.
+                        None => out.push(SimDuration::ZERO, CardOut::ToSelf(CardIn::DrainNext)),
+                    }
                 }
             }
         }
@@ -1247,6 +1456,20 @@ impl Card {
     /// so the packet is clean here.
     fn rx_local(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
         self.stats.rx_packets += 1;
+        // End-to-end duplicate suppression: a frame that crossed the cable
+        // just before it died (its ACK lost with the cable) is requeued by
+        // the sender onto the detour route and arrives a second time. The
+        // per-message fragment set catches in-progress duplicates; the
+        // tombstone catches ones landing after the message completed.
+        if self.rx_done.contains(&packet.msg)
+            || self
+                .rx_msgs
+                .get(&packet.msg)
+                .is_some_and(|p| p.got.contains(&packet.dst_vaddr))
+        {
+            self.stats.rx_dup_fragments += 1;
+            return;
+        }
         if self.trace.enabled() {
             self.trace.record(
                 now,
@@ -1324,12 +1547,18 @@ impl Card {
         let entry = self
             .rx_msgs
             .entry(packet.msg)
-            .or_insert((0, packet.dst_vaddr));
-        entry.0 += len;
-        entry.1 = entry.1.min(packet.dst_vaddr);
-        if entry.0 >= packet.msg_len {
-            let base = entry.1;
+            .or_insert_with(|| RxProgress {
+                bytes: 0,
+                base: packet.dst_vaddr,
+                got: BTreeSet::new(),
+            });
+        entry.got.insert(packet.dst_vaddr);
+        entry.bytes += len;
+        entry.base = entry.base.min(packet.dst_vaddr);
+        if entry.bytes >= packet.msg_len {
+            let base = entry.base;
             self.rx_msgs.remove(&packet.msg);
+            self.rx_done.insert(packet.msg);
             // Completion notification (event-queue write the host polls).
             let (_s, note_done) = self.nios.run(done, self.cfg.rx_notify);
             if self.trace.enabled() {
@@ -1342,6 +1571,21 @@ impl Card {
                         len: packet.msg_len,
                     },
                 );
+            }
+            if let Some(cap) = self.cfg.rx_ring_entries {
+                if self.rx_ring_used >= cap {
+                    // Credit backpressure: hold the completion (never drop
+                    // it) until the host reaps ring entries via RxRingPop.
+                    self.stats.rx_ring_stalls += 1;
+                    self.rx_ring_held
+                        .push_back((note_done, packet.msg, base, packet.msg_len));
+                    out.push(
+                        SimDuration::ZERO,
+                        CardOut::Error(CardError::RxRingFull { msg: packet.msg }),
+                    );
+                    return;
+                }
+                self.rx_ring_used += 1;
             }
             out.push(
                 note_done.since(now),
@@ -1356,10 +1600,9 @@ impl Card {
 
     fn forward(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
         self.stats.forwarded += 1;
-        let dir = self
-            .dims
-            .next_hop(self.coord, packet.dst)
-            .expect("transit packet has a route");
+        let Some(dir) = self.route_dir(packet.msg, packet.dst, out) else {
+            return; // dropped: both arcs of the next ring are cut
+        };
         self.link_send(
             Port::Link(dir),
             packet,
@@ -1368,6 +1611,167 @@ impl Card {
             false,
             out,
         );
+    }
+
+    /// Pick the egress direction for a non-local packet. With the fault
+    /// plane on this consults the converged dead-link map and may detour
+    /// (counted) or drop the packet as unreachable (typed error effect +
+    /// counter; the RDMA watchdog turns that into a host-visible error
+    /// completion). With the plane off it is strict dimension order —
+    /// minus the old panic.
+    fn route_dir(&mut self, msg: MsgId, dst: Coord, out: &mut Outbox<CardOut>) -> Option<LinkDir> {
+        let choice = if self.cfg.route_around_faults {
+            self.dims.next_hop_faulty(self.coord, dst, &self.fault_map)
+        } else {
+            match self.dims.next_hop(self.coord, dst) {
+                Some(d) => RouteChoice::Hop(d),
+                None => RouteChoice::Local,
+            }
+        };
+        match choice {
+            RouteChoice::Hop(d) => Some(d),
+            RouteChoice::Detour(d) => {
+                self.stats.detours += 1;
+                Some(d)
+            }
+            // `Local` cannot happen (every caller checks dst != coord);
+            // fold it into the dead-end path rather than panicking.
+            RouteChoice::Unreachable | RouteChoice::Local => {
+                self.stats.unreachable_drops += 1;
+                out.push(
+                    SimDuration::ZERO,
+                    CardOut::Error(CardError::Unreachable { msg, dst }),
+                );
+                None
+            }
+        }
+    }
+
+    /// Keepalive escalation on this card's own `dir` port: record both
+    /// endpoint orientations in the fault map, flood the link-state
+    /// notification so the mesh converges, and retire the port.
+    fn declare_port_dead(&mut self, dir: LinkDir, now: SimTime, out: &mut Outbox<CardOut>) {
+        let far = self.dims.neighbor(self.coord, dir);
+        self.fault_map.insert((self.coord, dir));
+        self.fault_map.insert((far, dir.opposite()));
+        self.flood_link_down(self.coord, dir, None, out);
+        self.mark_own_port_dead(dir, now, out);
+    }
+
+    /// Retire one of this card's ports: stop its timers forever (bounding
+    /// the event stream so the sim can quiesce), surface the typed error,
+    /// and move its in-flight frames onto detour routes.
+    fn mark_own_port_dead(&mut self, dir: LinkDir, now: SimTime, out: &mut Outbox<CardOut>) {
+        let pi = Port::Link(dir).index();
+        if self.port_dead[pi] {
+            return;
+        }
+        self.port_dead[pi] = true;
+        self.stats.links_dead += 1;
+        out.push(
+            SimDuration::ZERO,
+            CardOut::Error(CardError::LinkDead { dir }),
+        );
+        self.requeue_dead_port(pi, now, out);
+    }
+
+    /// Drain the dead port's replay and pending queues and route every
+    /// frame again through the fault-aware router. Replayed frames
+    /// already produced their `DrainNext` when they first serialized;
+    /// pending ones still owe theirs — even if they end up dropped as
+    /// unreachable, the drain must advance.
+    fn requeue_dead_port(&mut self, pi: usize, now: SimTime, out: &mut Outbox<CardOut>) {
+        let st = &mut self.link_tx[pi];
+        let mut frames: Vec<(ApePacket, bool)> = st.replay.drain(..).map(|p| (p, false)).collect();
+        frames.extend(st.pending.drain(..));
+        st.epoch += 1; // in-flight timer events for this port go stale
+        st.timer_live = false;
+        self.link_rx[pi] = LinkRxState::default();
+        for (packet, from_drain) in frames {
+            self.stats.requeued += 1;
+            match self.route_dir(packet.msg, packet.dst, out) {
+                Some(d) => self.link_send(Port::Link(d), packet, now, now, from_drain, out),
+                None => {
+                    if from_drain {
+                        out.push(SimDuration::ZERO, CardOut::ToSelf(CardIn::DrainNext));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flood a `LinkDown` notification out of every live torus port
+    /// (except the one it arrived on). Receivers deduplicate by fault-map
+    /// membership, so the flood terminates after each card re-emits each
+    /// failure at most once.
+    fn flood_link_down(
+        &mut self,
+        origin: Coord,
+        dir: LinkDir,
+        ingress: Option<Port>,
+        out: &mut Outbox<CardOut>,
+    ) {
+        for d in LinkDir::ALL {
+            let port = Port::Link(d);
+            if Some(port) == ingress
+                || self.port_dead[port.index()]
+                || self.cable_cut[port.index()]
+                || self.links_out[d.index()].is_none()
+                || self.dims.neighbor(self.coord, d) == self.coord
+            {
+                continue;
+            }
+            self.send_control(port, LinkMsg::LinkDown { origin, dir }, out);
+        }
+    }
+
+    /// A link-state notification arrived: merge the fault, re-flood it,
+    /// and — if the dead cable is one of ours because the neighbour's
+    /// detector won the race — retire our end too.
+    fn handle_link_down(
+        &mut self,
+        ingress: Port,
+        origin: Coord,
+        dir: LinkDir,
+        now: SimTime,
+        out: &mut Outbox<CardOut>,
+    ) {
+        if !self.cfg.route_around_faults || self.fault_map.contains(&(origin, dir)) {
+            return;
+        }
+        let far = self.dims.neighbor(origin, dir);
+        self.fault_map.insert((origin, dir));
+        self.fault_map.insert((far, dir.opposite()));
+        self.flood_link_down(origin, dir, Some(ingress), out);
+        if origin == self.coord {
+            self.mark_own_port_dead(dir, now, out);
+        } else if far == self.coord {
+            self.mark_own_port_dead(dir.opposite(), now, out);
+        }
+    }
+
+    /// The host reaped `n` RX event-ring entries; release held-back
+    /// completions into the freed slots, oldest first.
+    fn rx_ring_pop(&mut self, n: u32, now: SimTime, out: &mut Outbox<CardOut>) {
+        let Some(cap) = self.cfg.rx_ring_entries else {
+            return; // unbounded ring: nothing is ever held
+        };
+        self.rx_ring_used = self.rx_ring_used.saturating_sub(n);
+        while self.rx_ring_used < cap {
+            let Some((note_done, msg, dst_vaddr, len)) = self.rx_ring_held.pop_front() else {
+                break;
+            };
+            self.rx_ring_used += 1;
+            let at = note_done.max(now);
+            out.push(
+                at.since(now),
+                CardOut::Delivered {
+                    msg,
+                    dst_vaddr,
+                    len,
+                },
+            );
+        }
     }
 }
 
@@ -1474,14 +1878,40 @@ impl Device for Card {
                     self.issue_fetches(j, now, out);
                 }
             }
-            CardIn::LinkRx { port, msg } => match msg {
-                LinkMsg::Data(frame) => self.link_rx_data(port, frame, now, out),
-                LinkMsg::Ack { upto } => self.handle_ack(port, upto, now, out),
-                LinkMsg::Nak { expect } => self.handle_nak(port, expect, now, out),
-            },
+            CardIn::LinkRx { port, msg } => {
+                let pi = port.index();
+                if self.cable_cut[pi] || self.port_dead[pi] {
+                    return; // frames in flight when the cable died are lost
+                }
+                self.probes[pi] = 0; // any ingress traffic is proof of life
+                match msg {
+                    LinkMsg::Data(frame) => self.link_rx_data(port, frame, now, out),
+                    LinkMsg::Ack { upto } => self.handle_ack(port, upto, now, out),
+                    LinkMsg::Nak { expect } => self.handle_nak(port, expect, now, out),
+                    LinkMsg::Ping { nonce } => {
+                        self.send_control(port, LinkMsg::Pong { nonce }, out)
+                    }
+                    // The probe-counter reset above was the whole point.
+                    LinkMsg::Pong { .. } => {}
+                    LinkMsg::LinkDown { origin, dir } => {
+                        self.handle_link_down(port, origin, dir, now, out)
+                    }
+                }
+            }
             CardIn::LinkTimeout { port, epoch } => {
                 self.handle_timeout(port, epoch, now, out);
             }
+            CardIn::AdminLinkDown { port } => {
+                let pi = port.index();
+                if !self.cable_cut[pi] {
+                    self.cable_cut[pi] = true;
+                    // The kill schedule arms the fault plane; from here on
+                    // frames are windowed and timers run, so the keepalive
+                    // detector can escalate.
+                    self.fault_active = true;
+                }
+            }
+            CardIn::RxRingPop { n } => self.rx_ring_pop(n, now, out),
         }
     }
 }
@@ -1494,7 +1924,14 @@ impl Drop for Card {
         // retransmission/degradation activity without keeping any cluster
         // alive. Clean cards publish nothing, so fault-free runs touch no
         // shared state.
-        if !self.stats.link_sums().is_clean() {
+        let s = &self.stats;
+        let hard = s.links_dead
+            + s.detours
+            + s.unreachable_drops
+            + s.requeued
+            + s.rx_dup_fragments
+            + s.rx_ring_stalls;
+        if !s.link_sums().is_clean() || hard > 0 {
             self.publish_link_metrics(apenet_obs::global());
         }
     }

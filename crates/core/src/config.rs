@@ -123,6 +123,27 @@ pub struct CardConfig {
     /// `tx_bit_error_every`); mixed with the card's coordinates so every
     /// card draws an independent stream.
     pub fault_seed: u64,
+    /// Hard-failure tolerance plane (the fault-management features the
+    /// APElink follow-up papers make first-class): dead-link detection by
+    /// keepalive miss, deterministic detour routing around failed ring
+    /// hops, link-state flooding, and drain/requeue of in-flight frames.
+    /// `false` restores strict dimension-order routing with
+    /// panic-on-missing-route — exactly today's behaviour — and the
+    /// golden-digest test pins that clean-run figures are byte-identical
+    /// either way. Defaults from the `APENET_ROUTE_AROUND_FAULTS` env var
+    /// (unset/`0` = off) so the guard can flip it without recompiling.
+    pub route_around_faults: bool,
+    /// Consecutive unanswered keepalive probes before a port is declared
+    /// dead. Probes ride barren retransmit timeouts (so they exist only
+    /// while the fault plane is armed and traffic is stuck), making the
+    /// detection bound ≈ `keepalive_misses` × backed-off `link_rto`s.
+    pub keepalive_misses: u32,
+    /// RX event ring capacity: completed deliveries the host has not yet
+    /// reaped. A full ring backpressures — the completion is held (never
+    /// dropped) until the host pops entries — and raises a
+    /// [`crate::card::CardError::RxRingFull`] event. `None` models the
+    /// host keeping up, i.e. an unbounded ring (today's behaviour).
+    pub rx_ring_entries: Option<u32>,
 }
 
 impl Default for CardConfig {
@@ -158,6 +179,11 @@ impl CardConfig {
             link_window: 32,
             link_rto: SimDuration::from_us(100),
             fault_seed: 0xA9E0_5EED,
+            route_around_faults: std::env::var("APENET_ROUTE_AROUND_FAULTS")
+                .map(|v| v != "0" && !v.is_empty())
+                .unwrap_or(false),
+            keepalive_misses: 3,
+            rx_ring_entries: None,
         }
     }
 
@@ -238,6 +264,16 @@ mod tests {
         // The RTO must exceed a full window's serialization time at
         // 28 Gbps (~19 us) or healthy-but-slow links would time out.
         assert!(c.link_rto > SimDuration::from_us(20));
+    }
+
+    #[test]
+    fn hard_fault_defaults() {
+        let c = CardConfig::default();
+        assert!(
+            c.keepalive_misses >= 2,
+            "one lost probe must not kill a link"
+        );
+        assert_eq!(c.rx_ring_entries, None, "host keeps up by default");
     }
 
     #[test]

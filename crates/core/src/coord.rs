@@ -32,7 +32,7 @@ impl fmt::Display for Coord {
 }
 
 /// The six torus link directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LinkDir {
     /// X+.
     Xp,
@@ -82,6 +82,28 @@ impl LinkDir {
             LinkDir::Zm => LinkDir::Zp,
         }
     }
+}
+
+/// The mesh-wide dead-link map a fault-aware router consults: the set of
+/// `(card, direction)` ports known dead. Cables die whole, so every
+/// failure appears twice — once per endpoint orientation — which lets a
+/// router check only the transmit side of each hop.
+pub type FaultMap = std::collections::BTreeSet<(Coord, LinkDir)>;
+
+/// Outcome of fault-aware routing at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// The strict dimension-order hop; its whole ring arc is dead-free.
+    Hop(LinkDir),
+    /// Misroute: the shortest arc crosses a dead link, so the packet goes
+    /// the long way round the same ring.
+    Detour(LinkDir),
+    /// Both arcs of the first unresolved ring are cut; the destination
+    /// cannot be reached under per-dimension routing (see the documented
+    /// limitation on [`TorusDims::next_hop_faulty`]).
+    Unreachable,
+    /// Already at the destination.
+    Local,
 }
 
 /// Torus dimensions, e.g. the paper's 4×2×1 Cluster I.
@@ -214,6 +236,67 @@ impl TorusDims {
         None
     }
 
+    /// True when walking from `at` along `dir` until the coordinate in
+    /// `dir`'s dimension matches `dst`'s crosses no dead port.
+    fn arc_clear(self, at: Coord, dst: Coord, dir: LinkDir, faults: &FaultMap) -> bool {
+        let aligned = |a: Coord, b: Coord| match dir {
+            LinkDir::Xp | LinkDir::Xm => a.x == b.x,
+            LinkDir::Yp | LinkDir::Ym => a.y == b.y,
+            LinkDir::Zp | LinkDir::Zm => a.z == b.z,
+        };
+        let mut c = at;
+        while !aligned(c, dst) {
+            if faults.contains(&(c, dir)) {
+                return false;
+            }
+            c = self.neighbor(c, dir);
+        }
+        true
+    }
+
+    /// Fault-aware next hop: dimension order exactly as
+    /// [`Self::next_hop`], but each ring is traversed in a direction whose
+    /// whole arc to the target coordinate is free of dead links. The
+    /// shortest (ties-plus) direction wins when clear — so an empty fault
+    /// map reproduces strict dimension-order routing hop for hop — and the
+    /// long way round the ring is the detour otherwise.
+    ///
+    /// The rule is deterministic and, once every node shares the fault
+    /// map, loop-free: a clear arc's sub-arcs are clear, so each node
+    /// downstream keeps choosing the same direction and the remaining arc
+    /// shrinks every hop.
+    ///
+    /// Known limitation, by design: detours never leave the failing ring's
+    /// dimension. A ring cut on both arcs reports
+    /// [`RouteChoice::Unreachable`] even when a path exists through
+    /// another dimension — matching the per-dimension fault bypass of the
+    /// APElink fault-management papers rather than full adaptive routing.
+    pub fn next_hop_faulty(self, at: Coord, dst: Coord, faults: &FaultMap) -> RouteChoice {
+        if at == dst {
+            return RouteChoice::Local;
+        }
+        let rings = [
+            (Self::ring_delta(at.x, dst.x, self.x), LinkDir::Xp),
+            (Self::ring_delta(at.y, dst.y, self.y), LinkDir::Yp),
+            (Self::ring_delta(at.z, dst.z, self.z), LinkDir::Zp),
+        ];
+        for (delta, plus) in rings {
+            if delta == 0 {
+                continue;
+            }
+            let preferred = if delta > 0 { plus } else { plus.opposite() };
+            if self.arc_clear(at, dst, preferred, faults) {
+                return RouteChoice::Hop(preferred);
+            }
+            let other = preferred.opposite();
+            if self.arc_clear(at, dst, other, faults) {
+                return RouteChoice::Detour(other);
+            }
+            return RouteChoice::Unreachable;
+        }
+        unreachable!("at != dst implies a non-zero ring delta")
+    }
+
     /// Number of hops on the dimension-ordered route from `a` to `b`.
     pub fn hops(self, a: Coord, b: Coord) -> u32 {
         Self::ring_delta(a.x, b.x, self.x).unsigned_abs() as u32
@@ -291,6 +374,108 @@ mod tests {
         );
         assert_eq!(d.hops(Coord::new(0, 0, 0), Coord::new(3, 0, 0)), 1);
         assert_eq!(d.hops(Coord::new(0, 0, 0), Coord::new(2, 0, 0)), 2);
+    }
+
+    /// Both endpoint orientations of the cable leaving `c` along `d`.
+    fn kill(d: TorusDims, c: Coord, dir: LinkDir) -> FaultMap {
+        let mut m = FaultMap::new();
+        m.insert((c, dir));
+        m.insert((d.neighbor(c, dir), dir.opposite()));
+        m
+    }
+
+    #[test]
+    fn empty_fault_map_is_strict_dor() {
+        let d = TorusDims::new(4, 2, 3);
+        let none = FaultMap::new();
+        for a in d.iter() {
+            for b in d.iter() {
+                let expect = match d.next_hop(a, b) {
+                    Some(h) => RouteChoice::Hop(h),
+                    None => RouteChoice::Local,
+                };
+                assert_eq!(d.next_hop_faulty(a, b, &none), expect, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn detour_goes_the_long_way_round() {
+        let d = TorusDims::new(4, 1, 1);
+        // 0 -> 2 prefers Xp (ties go plus); cutting 1--2 forces the
+        // minus arc 0 -> 3 -> 2.
+        let faults = kill(d, Coord::new(1, 0, 0), LinkDir::Xp);
+        assert_eq!(
+            d.next_hop_faulty(Coord::new(0, 0, 0), Coord::new(2, 0, 0), &faults),
+            RouteChoice::Detour(LinkDir::Xm)
+        );
+        // Downstream of the detour the choice stays Xm (no oscillation) —
+        // at 3 it is even the strict-DOR hop again.
+        assert_eq!(
+            d.next_hop_faulty(Coord::new(3, 0, 0), Coord::new(2, 0, 0), &faults),
+            RouteChoice::Hop(LinkDir::Xm)
+        );
+        // Traffic not crossing the cut is untouched.
+        assert_eq!(
+            d.next_hop_faulty(Coord::new(0, 0, 0), Coord::new(1, 0, 0), &faults),
+            RouteChoice::Hop(LinkDir::Xp)
+        );
+    }
+
+    #[test]
+    fn two_ring_has_two_distinct_cables() {
+        // On a ring of 2 both directions reach the same neighbour over
+        // *different* cables: killing one leaves the other usable.
+        let d = TorusDims::new(2, 1, 1);
+        let faults = kill(d, Coord::new(0, 0, 0), LinkDir::Xp);
+        assert_eq!(
+            d.next_hop_faulty(Coord::new(0, 0, 0), Coord::new(1, 0, 0), &faults),
+            RouteChoice::Detour(LinkDir::Xm)
+        );
+        // Both cables dead: the ring is cut and the node unreachable.
+        let mut both = faults.clone();
+        both.extend(kill(d, Coord::new(0, 0, 0), LinkDir::Xm));
+        assert_eq!(
+            d.next_hop_faulty(Coord::new(0, 0, 0), Coord::new(1, 0, 0), &both),
+            RouteChoice::Unreachable
+        );
+    }
+
+    #[test]
+    fn faulty_route_terminates_around_any_single_dead_cable() {
+        let d = TorusDims::new(4, 2, 3);
+        for fc in d.iter() {
+            for fdir in LinkDir::ALL {
+                if d.neighbor(fc, fdir) == fc {
+                    continue; // ring of 1: no cable
+                }
+                let faults = kill(d, fc, fdir);
+                for a in d.iter() {
+                    for b in d.iter() {
+                        let mut at = a;
+                        let mut steps = 0;
+                        loop {
+                            match d.next_hop_faulty(at, b, &faults) {
+                                RouteChoice::Local => break,
+                                RouteChoice::Hop(h) | RouteChoice::Detour(h) => {
+                                    assert!(
+                                        !faults.contains(&(at, h)),
+                                        "routed onto dead link {at} {h:?}"
+                                    );
+                                    at = d.neighbor(at, h);
+                                    steps += 1;
+                                    assert!(steps <= 16, "routing loop {a}->{b} cut {fc}{fdir:?}");
+                                }
+                                RouteChoice::Unreachable => {
+                                    panic!("one dead cable partitioned {a}->{b}")
+                                }
+                            }
+                        }
+                        assert_eq!(at, b);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

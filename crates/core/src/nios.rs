@@ -93,6 +93,7 @@ pub struct BufList {
     entries: Vec<BufEntry>,
     base_cost: SimDuration,
     per_entry: SimDuration,
+    capacity: Option<usize>,
 }
 
 impl BufList {
@@ -104,13 +105,43 @@ impl BufList {
             entries: Vec::new(),
             base_cost: SimDuration::from_ns(1300),
             per_entry: SimDuration::from_ns(200),
+            capacity: None,
         }
     }
 
+    /// Cap the number of registrations (the real BUF_LIST lives in finite
+    /// card memory). `None` — the default — is unbounded.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap;
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// True when a bounded list has no free slot left.
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|cap| self.entries.len() >= cap)
+    }
+
     /// Register a buffer; returns its index.
+    ///
+    /// Panics if the list is full — callers on the fallible path use
+    /// [`BufList::try_register`] instead.
     pub fn register(&mut self, e: BufEntry) -> usize {
+        self.try_register(e).expect("BUF_LIST full")
+    }
+
+    /// Register a buffer unless the list is at capacity; full lists
+    /// reject the registration (typed, no panic) so the host can
+    /// unregister something and retry.
+    pub fn try_register(&mut self, e: BufEntry) -> Option<usize> {
+        if self.is_full() {
+            return None;
+        }
         self.entries.push(e);
-        self.entries.len() - 1
+        Some(self.entries.len() - 1)
     }
 
     /// Remove a registration by base address.
@@ -352,6 +383,29 @@ mod tests {
         assert!(bl.unregister(0x1000));
         assert!(!bl.unregister(0x1000));
         assert!(bl.is_empty());
+    }
+
+    #[test]
+    fn buflist_capacity_rejects_then_recovers() {
+        let entry = |vaddr| BufEntry {
+            vaddr,
+            len: 0x1000,
+            kind: BufKind::Host,
+            pid: 0,
+        };
+        let mut bl = BufList::new();
+        assert_eq!(bl.capacity(), None, "unbounded by default");
+        assert!(!bl.is_full());
+        bl.set_capacity(Some(2));
+        assert_eq!(bl.try_register(entry(0x1000)), Some(0));
+        assert_eq!(bl.try_register(entry(0x2000)), Some(1));
+        assert!(bl.is_full());
+        assert_eq!(bl.try_register(entry(0x3000)), None, "typed, no panic");
+        assert_eq!(bl.len(), 2, "rejected entry left no trace");
+        // Unregistering frees a slot and the same registration succeeds.
+        assert!(bl.unregister(0x1000));
+        assert!(!bl.is_full());
+        assert_eq!(bl.try_register(entry(0x3000)), Some(1));
     }
 
     #[test]

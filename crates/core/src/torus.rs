@@ -5,7 +5,7 @@
 //! bandwidth/latency benchmarks, "Link 20Gbps" for the HSG runs (the
 //! torus transceivers were clocked lower on that setup).
 
-use crate::coord::LinkDir;
+use crate::coord::{Coord, LinkDir};
 use crate::packet::ApePacket;
 use apenet_sim::{Bandwidth, SimDuration, SimTime};
 
@@ -83,6 +83,30 @@ pub enum LinkMsg {
     Nak {
         /// The sequence number the receiver expects next.
         expect: u64,
+    },
+    /// Keepalive probe: sent on barren retransmit timeouts to tell a live
+    /// neighbour stuck in go-back-N recovery from a dead cable. Any frame
+    /// is proof of life, so the probe carries only a nonce to pair with
+    /// its echo.
+    Ping {
+        /// Echoed back verbatim in the matching [`LinkMsg::Pong`].
+        nonce: u64,
+    },
+    /// Keepalive echo: the neighbour is alive (its receive side, at
+    /// least — which is the direction the prober's frames travel).
+    Pong {
+        /// The nonce of the probe being answered.
+        nonce: u64,
+    },
+    /// Link-state notification, flooded over live links when a card
+    /// declares one of its ports dead so the whole mesh converges on the
+    /// same fault map (the LSA of a link-state protocol, reduced to
+    /// "this cable is gone").
+    LinkDown {
+        /// The card that owns the dead port.
+        origin: Coord,
+        /// The dead port's direction, from `origin`'s point of view.
+        dir: LinkDir,
     },
 }
 

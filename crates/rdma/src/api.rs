@@ -24,6 +24,9 @@ pub enum RdmaError {
     UnknownPointer,
     /// The source-kind flag contradicts the actual pointer kind.
     KindMismatch,
+    /// The card's BUF_LIST has no free slot: deregister something and
+    /// retry. Registration state is untouched.
+    BufListFull,
 }
 
 impl fmt::Display for RdmaError {
@@ -32,6 +35,7 @@ impl fmt::Display for RdmaError {
             RdmaError::NotRegistered => write!(f, "buffer not registered"),
             RdmaError::UnknownPointer => write!(f, "pointer outside UVA ranges"),
             RdmaError::KindMismatch => write!(f, "source kind flag mismatch"),
+            RdmaError::BufListFull => write!(f, "BUF_LIST at capacity"),
         }
     }
 }
@@ -112,16 +116,19 @@ impl RdmaEndpoint {
         let kind = self.classify(addr)?;
         let mut fw = self.shared.firmware.borrow_mut();
         let cost = match kind {
-            BufKind::Host => {
-                fw.register_host(addr, len, self.pid);
-                self.cfg.reg_host
-            }
-            BufKind::Gpu(id) => {
-                fw.register_gpu(id, addr, len, self.pid);
-                self.cfg.reg_gpu
-            }
+            BufKind::Host => fw
+                .try_register_host(addr, len, self.pid)
+                .map(|_| self.cfg.reg_host),
+            BufKind::Gpu(id) => fw
+                .try_register_gpu(id, addr, len, self.pid)
+                .map(|_| self.cfg.reg_gpu),
         };
         drop(fw);
+        let Some(cost) = cost else {
+            // Full BUF_LIST: typed error, nothing cached, so the caller
+            // can deregister a buffer and retry the same address.
+            return Err(RdmaError::BufListFull);
+        };
         self.reg_cache.insert(addr, kind);
         Ok(cost)
     }
@@ -260,6 +267,33 @@ mod tests {
         assert!(ep.is_registered(h, 8192));
         assert!(ep.is_registered(g + 100, 1000));
         assert!(!ep.is_registered(h + 8192, 1));
+    }
+
+    #[test]
+    fn full_buf_list_rejects_then_recovers() {
+        let (mut ep, _cuda, hostmem) = endpoint();
+        ep.shared
+            .firmware
+            .borrow_mut()
+            .buf_list
+            .set_capacity(Some(2));
+        let a = hostmem.borrow_mut().alloc(4096).unwrap();
+        let b = hostmem.borrow_mut().alloc(4096).unwrap();
+        let c = hostmem.borrow_mut().alloc(4096).unwrap();
+        ep.register(a, 4096).unwrap();
+        ep.register(b, 4096).unwrap();
+        // Exhausted: typed error, no registration, no cache pollution.
+        assert_eq!(ep.register(c, 4096).unwrap_err(), RdmaError::BufListFull);
+        assert!(!ep.is_registered(c, 4096));
+        // Re-registering a cached buffer still works (no new slot needed).
+        assert_eq!(
+            ep.register(a, 4096).unwrap(),
+            DriverConfig::default().reg_cache_hit
+        );
+        // Freeing a slot recovers the failed registration.
+        assert!(ep.deregister(b));
+        ep.register(c, 4096).unwrap();
+        assert!(ep.is_registered(c, 4096));
     }
 
     #[test]

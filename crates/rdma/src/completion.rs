@@ -9,11 +9,28 @@ use apenet_core::packet::MsgId;
 use apenet_sim::SimTime;
 use std::collections::HashMap;
 
+/// Why an operation completed with an error instead of a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionError {
+    /// The driver watchdog exhausted its re-issue budget: as far as the
+    /// host can tell, the destination node is unreachable.
+    Unreachable,
+}
+
+impl std::fmt::Display for CompletionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompletionError::Unreachable => write!(f, "destination unreachable"),
+        }
+    }
+}
+
 /// Arrival records of one host.
 #[derive(Debug, Default, Clone)]
 pub struct CompletionQueue {
     delivered: HashMap<MsgId, (SimTime, u64)>,
     tx_done: HashMap<MsgId, SimTime>,
+    errors: HashMap<MsgId, (SimTime, CompletionError)>,
     delivered_bytes: u64,
     last_delivery: Option<SimTime>,
     duplicates: u64,
@@ -42,6 +59,28 @@ impl CompletionQueue {
     /// Record a TX completion.
     pub fn push_tx_done(&mut self, msg: MsgId, at: SimTime) {
         self.tx_done.insert(msg, at);
+    }
+
+    /// Record a typed error completion: the operation terminated without
+    /// delivery (e.g. watchdog escalation on an unreachable node). The
+    /// first record wins; repeats are ignored.
+    pub fn push_error(&mut self, msg: MsgId, at: SimTime, err: CompletionError) {
+        self.errors.entry(msg).or_insert((at, err));
+    }
+
+    /// Did `msg` complete with an error?
+    pub fn is_failed(&self, msg: MsgId) -> bool {
+        self.errors.contains_key(&msg)
+    }
+
+    /// The error completion of `msg`, if it failed.
+    pub fn error_of(&self, msg: MsgId) -> Option<(SimTime, CompletionError)> {
+        self.errors.get(&msg).copied()
+    }
+
+    /// Number of error completions.
+    pub fn error_count(&self) -> usize {
+        self.errors.len()
     }
 
     /// Has `msg` been delivered locally?
@@ -84,6 +123,7 @@ impl CompletionQueue {
     pub fn clear(&mut self) {
         self.delivered.clear();
         self.tx_done.clear();
+        self.errors.clear();
         self.delivered_bytes = 0;
         self.last_delivery = None;
         self.duplicates = 0;
@@ -117,6 +157,25 @@ mod tests {
         cq.clear();
         assert_eq!(cq.delivered_count(), 0);
         assert_eq!(cq.last_delivery(), None);
+    }
+
+    #[test]
+    fn error_completions_are_typed_and_first_wins() {
+        let mut cq = CompletionQueue::new();
+        let t1 = SimTime::ZERO + SimDuration::from_us(1);
+        let t2 = SimTime::ZERO + SimDuration::from_us(2);
+        cq.push_error(msg(0), t1, CompletionError::Unreachable);
+        cq.push_error(msg(0), t2, CompletionError::Unreachable);
+        assert!(cq.is_failed(msg(0)));
+        assert!(!cq.is_failed(msg(1)));
+        assert_eq!(
+            cq.error_of(msg(0)),
+            Some((t1, CompletionError::Unreachable))
+        );
+        assert_eq!(cq.error_count(), 1);
+        assert!(!cq.is_delivered(msg(0)), "an error is not a delivery");
+        cq.clear();
+        assert_eq!(cq.error_count(), 0);
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub mod metrics {
     pub const GAVE_UP: &str = "watchdog.gave_up";
     /// Messages handed back to the application for re-issue.
     pub const REISSUES: &str = "watchdog.reissues";
+    /// Messages that exhausted `max_attempts` and completed with a typed
+    /// error — the destination is unreachable as far as the host can tell.
+    pub const UNREACHABLE: &str = "rdma.unreachable";
 }
 
 /// Completion-watchdog tuning.
@@ -83,6 +86,19 @@ struct WatchdogCounters {
     fired: Counter,
     gave_up: Counter,
     reissues: Counter,
+    unreachable: Counter,
+}
+
+/// The outcome of one expiry poll: `reissue` goes back to the card,
+/// `failed` must surface to the application as typed error completions —
+/// the watchdog has exhausted its attempts and declares the destination
+/// unreachable. Nothing is ever silently dropped.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Expiry {
+    /// Messages to hand back for re-issue (deadline re-armed, backed off).
+    pub reissue: Vec<MsgId>,
+    /// Messages that hit `max_attempts`: complete these with an error.
+    pub failed: Vec<MsgId>,
 }
 
 impl Watchdog {
@@ -104,6 +120,7 @@ impl Watchdog {
             fired: reg.counter(metrics::FIRED),
             gave_up: reg.counter(metrics::GAVE_UP),
             reissues: reg.counter(metrics::REISSUES),
+            unreachable: reg.counter(metrics::UNREACHABLE),
         });
     }
 
@@ -135,17 +152,18 @@ impl Watchdog {
     }
 
     /// Collect every message whose deadline has passed, re-arming each
-    /// with exponentially backed-off deadlines. The caller re-issues the
-    /// returned messages; ones past `max_attempts` are dropped from the
-    /// watch list and counted in [`Watchdog::gave_up`] instead.
-    pub fn expired(&mut self, now: SimTime) -> Vec<MsgId> {
+    /// with exponentially backed-off deadlines. The caller re-issues
+    /// `reissue`; ones past `max_attempts` land in `failed` and MUST be
+    /// completed with a typed error — the escalation is bounded, never an
+    /// infinite retry and never a silent drop.
+    pub fn poll_expired(&mut self, now: SimTime) -> Expiry {
         let due: Vec<MsgId> = self
             .armed
             .iter()
             .filter(|(_, e)| e.deadline <= now)
             .map(|(&m, _)| m)
             .collect();
-        let mut out = Vec::new();
+        let mut out = Expiry::default();
         for msg in due {
             let e = self.armed.get_mut(&msg).expect("just listed");
             e.alarms += 1;
@@ -158,7 +176,9 @@ impl Watchdog {
                 self.gave_up += 1;
                 if let Some(c) = &self.counters {
                     c.gave_up.incr();
+                    c.unreachable.incr();
                 }
+                out.failed.push(msg);
                 continue;
             }
             let shift = e.alarms.min(self.cfg.backoff_cap);
@@ -166,9 +186,15 @@ impl Watchdog {
             if let Some(c) = &self.counters {
                 c.reissues.incr();
             }
-            out.push(msg);
+            out.reissue.push(msg);
         }
         out
+    }
+
+    /// [`Watchdog::poll_expired`] reduced to the re-issue list, for
+    /// callers that track give-ups through the counters alone.
+    pub fn expired(&mut self, now: SimTime) -> Vec<MsgId> {
+        self.poll_expired(now).reissue
     }
 }
 
@@ -266,6 +292,41 @@ mod tests {
         assert_eq!(wd.gave_up, 1);
         assert_eq!(wd.outstanding(), 0);
         assert_eq!(wd.fired, 4);
+    }
+
+    #[test]
+    fn watchdog_escalates_to_failure_within_bound() {
+        use apenet_sim::SimTime;
+        let msg = MsgId {
+            src_rank: 3,
+            seq: 9,
+        };
+        let cfg = WatchdogConfig::default();
+        // Escalation bound with the defaults: alarms at timeout <<
+        // min(k, cap), k = 0..max_attempts-1, summed.
+        let mut bound = SimDuration::ZERO;
+        for k in 0..cfg.max_attempts {
+            bound += SimDuration::from_ps(cfg.timeout.as_ps() << k.min(cfg.backoff_cap));
+        }
+        let mut wd = Watchdog::new(cfg.clone());
+        wd.arm(msg, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut failed = Vec::new();
+        let mut polls = 0;
+        while wd.outstanding() > 0 {
+            now = wd.next_deadline().expect("armed implies a deadline");
+            let ex = wd.poll_expired(now);
+            failed.extend(ex.failed);
+            polls += 1;
+            assert!(polls <= cfg.max_attempts, "escalation must terminate");
+        }
+        // The message is handed back as failed exactly once, never
+        // silently dropped, and within the closed-form bound.
+        assert_eq!(failed, vec![msg]);
+        assert_eq!(wd.gave_up, 1);
+        assert!(now <= SimTime::ZERO + bound);
+        // Nothing fires after give-up: the retry stream is finite.
+        assert_eq!(wd.poll_expired(now + cfg.timeout), Expiry::default());
     }
 
     #[test]

@@ -23,4 +23,7 @@ echo "==> chaos soak (APENET_CHAOS_CASES=${APENET_CHAOS_CASES:-512} seeded fault
 APENET_CHAOS_CASES="${APENET_CHAOS_CASES:-512}" \
     cargo test --release --offline -q -p apenet-cluster --test chaos
 
+echo "==> hard-fault soak (link kills, partitions, RX-ring exhaustion)"
+cargo test --release --offline -q -p apenet-cluster --test hard_faults
+
 echo "==> ci.sh: all green"
