@@ -1,0 +1,6 @@
+//! ASCII congestion heatmaps of the 4×2 torus — clean, chaos, and
+//! hard-fault regimes — into `results/congestion_heatmap.txt`.
+
+fn main() {
+    apenet_bench::figs::congestion_heatmap::run();
+}

@@ -1,0 +1,67 @@
+//! Perf-regression gate: compare fresh bench JSON against a committed
+//! baseline and fail (exit 1) on regression.
+//!
+//! Two modes:
+//!
+//! * `perf-gate check <baseline.json> <fresh.json>` — pure comparison of
+//!   two existing reports (what a CI artifact diff uses);
+//! * `perf-gate` — run the in-tree microbench suite fresh (respecting
+//!   `APENET_BENCH_ITERS`) and gate it against the committed
+//!   `BENCH_microbench.json`.
+//!
+//! Tolerance for wall-derived metrics comes from `APENET_GATE_TOL`
+//! (default [`apenet_obs::gate::DEFAULT_TOL`]); deterministic event
+//! counts are compared exactly regardless.
+
+use apenet_bench::microbench::{self, Harness};
+use apenet_obs::gate;
+
+fn gate_docs(baseline_name: &str, baseline: &str, fresh: &str) -> i32 {
+    let out = match gate::compare(baseline, fresh, gate::tol_from_env()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("perf-gate: malformed JSON: {e}");
+            return 2;
+        }
+    };
+    print!("{}", out.render(baseline_name));
+    i32::from(!out.passed())
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf-gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let code = match args.get(1).map(String::as_str) {
+        Some("check") => match (args.get(2), args.get(3)) {
+            (Some(b), Some(f)) => gate_docs(b, &read(b), &read(f)),
+            _ => {
+                eprintln!("usage: perf-gate check <baseline.json> <fresh.json>");
+                2
+            }
+        },
+        None => {
+            let baseline_path = "BENCH_microbench.json";
+            let baseline = read(baseline_path);
+            let mut h = Harness::from_env();
+            eprintln!(
+                "[perf-gate] fresh microbench: {} samples after {} warmup rounds",
+                h.iters, h.warmup
+            );
+            microbench::run_all(&mut h);
+            gate_docs(baseline_path, &baseline, &h.to_json())
+        }
+        Some(other) => {
+            eprintln!(
+                "perf-gate: unknown mode {other:?}; usage: perf-gate [check <baseline> <fresh>]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}

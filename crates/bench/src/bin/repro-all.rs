@@ -30,7 +30,28 @@ fn jobs() -> Vec<(&'static str, fn())> {
         ("bidir", figs::bidir::run),
         ("chaos_sweep", figs::chaos_sweep::run),
         ("latency_breakdown", figs::latency_breakdown::run),
+        ("sim_profile", figs::sim_profile::run),
+        ("congestion_heatmap", figs::congestion_heatmap::run),
     ]
+}
+
+/// Render one pass's per-worker accounting as a JSON array. Which
+/// worker got which item is scheduling-dependent, so the gate skips
+/// everything under a `threads_detail` key; the totals it sums to are
+/// what the deterministic `events` field checks.
+fn threads_json(stats: &[(usize, sweep::ThreadStat)]) -> String {
+    let mut s = String::from("[");
+    for (i, (w, st)) in stats.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"worker\": {w}, \"items\": {}, \"events\": {}, \"busy_ns\": {}}}",
+            st.items, st.events, st.busy_ns
+        ));
+    }
+    s.push(']');
+    s
 }
 
 /// Render the link-reliability counters of a registry snapshot as a JSON
@@ -57,10 +78,12 @@ fn link_json(t: &apenet_obs::CounterSnapshot) -> String {
     )
 }
 
-/// One full pass over every experiment; returns (wall seconds, events).
-fn run_all(tag: &str) -> (f64, u64) {
+/// One full pass over every experiment; returns (wall seconds, events,
+/// per-worker accounting for this pass).
+fn run_all(tag: &str) -> (f64, u64, Vec<(usize, sweep::ThreadStat)>) {
     let start = Instant::now();
     let ev0 = engine::global_events();
+    let _ = sweep::take_thread_stats();
     let jobs = jobs();
     sweep::map(&jobs, |(name, f)| {
         let t = Instant::now();
@@ -70,7 +93,11 @@ fn run_all(tag: &str) -> (f64, u64) {
             t.elapsed().as_secs_f64()
         );
     });
-    (start.elapsed().as_secs_f64(), engine::global_events() - ev0)
+    (
+        start.elapsed().as_secs_f64(),
+        engine::global_events() - ev0,
+        sweep::take_thread_stats(),
+    )
 }
 
 fn main() {
@@ -79,7 +106,7 @@ fn main() {
     // registry on drop; the delta across the parallel pass is exactly
     // what this run contributed.
     let links0 = apenet_obs::global().counters();
-    let (par_s, par_ev) = run_all("parallel");
+    let (par_s, par_ev, par_workers) = run_all("parallel");
     let links = apenet_obs::global().counters().delta_since(&links0);
     let par_eps = par_ev as f64 / par_s.max(1e-9);
     eprintln!(
@@ -90,7 +117,7 @@ fn main() {
     let baseline = std::env::var_os("APENET_REPRO_NO_BASELINE").is_none();
     let serial = baseline.then(|| {
         sweep::set_threads(1);
-        let (ser_s, ser_ev) = run_all("serial");
+        let (ser_s, ser_ev, ser_workers) = run_all("serial");
         sweep::set_threads(0);
         let ser_eps = ser_ev as f64 / ser_s.max(1e-9);
         eprintln!(
@@ -98,19 +125,23 @@ fn main() {
              parallel speedup x{:.2}",
             ser_s / par_s.max(1e-9)
         );
-        (ser_s, ser_ev, ser_eps)
+        (ser_s, ser_ev, ser_eps, ser_workers)
     });
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"link_reliability\": {},\n", link_json(&links)));
     json.push_str(&format!(
-        "  \"parallel\": {{\"wall_s\": {par_s:.3}, \"events\": {par_ev}, \"events_per_sec\": {par_eps:.1}}}"
+        "  \"parallel\": {{\"wall_s\": {par_s:.3}, \"events\": {par_ev}, \"events_per_sec\": {par_eps:.1}, \
+         \"threads_detail\": {}}}",
+        threads_json(&par_workers)
     ));
-    if let Some((ser_s, ser_ev, ser_eps)) = serial {
+    if let Some((ser_s, ser_ev, ser_eps, ser_workers)) = serial {
         json.push_str(",\n");
         json.push_str(&format!(
-            "  \"serial\": {{\"wall_s\": {ser_s:.3}, \"events\": {ser_ev}, \"events_per_sec\": {ser_eps:.1}}},\n"
+            "  \"serial\": {{\"wall_s\": {ser_s:.3}, \"events\": {ser_ev}, \"events_per_sec\": {ser_eps:.1}, \
+             \"threads_detail\": {}}},\n",
+            threads_json(&ser_workers)
         ));
         json.push_str(&format!("  \"speedup\": {:.3}\n", ser_s / par_s.max(1e-9)));
     } else {

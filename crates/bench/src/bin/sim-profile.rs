@@ -1,0 +1,6 @@
+//! Exact sim-time partition of the headline two-node transfer
+//! (`results/sim_profile.txt`); wall-clock companion on stderr.
+
+fn main() {
+    apenet_bench::figs::sim_profile::run();
+}

@@ -1,29 +1,45 @@
 //! Capture a two-node G-G RDMA ping-pong with span tracing enabled and
 //! export it as Chrome/Perfetto `trace_event` JSON
 //! (`results/trace_pingpong.json`; open in <https://ui.perfetto.dev> or
-//! `chrome://tracing`). Exits non-zero if the export fails to parse as
-//! JSON or its slices do not nest — this is the CI smoke test for the
-//! exporter.
+//! `chrome://tracing`). The same run is occupancy-sampled, so the file
+//! also carries counter tracks (queue depths, link wire bytes, firmware
+//! busy time) under the message slices — one shared timeline. Exits
+//! non-zero if the export fails to parse as JSON or its slices/counters
+//! do not validate — this is the CI smoke test for the exporter.
 
 use apenet_bench::results_dir;
-use apenet_cluster::harness::{pingpong_instrumented, BufSide};
+use apenet_cluster::harness::{pingpong_sampled_instrumented, BufSide};
 use apenet_cluster::presets::cluster_i_default;
+use apenet_cluster::OccupancySampler;
 use apenet_obs::perfetto;
+use apenet_sim::SimDuration;
 
 fn main() {
-    let (half_rtt, records) = pingpong_instrumented(
+    let mut sampler = OccupancySampler::new(SimDuration::from_us(2));
+    let (half_rtt, records) = pingpong_sampled_instrumented(
         cluster_i_default(),
         BufSide::Gpu,
         BufSide::Gpu,
         4096,
         4,
         false,
+        &mut sampler,
     );
-    let events = perfetto::export(&records);
-    let slices = match perfetto::validate_nesting(&events) {
+    let mut events = perfetto::export(&records);
+    // Counter tracks: every sampled series that ever left zero (the
+    // all-zero ones add bulk, not information).
+    let series: Vec<_> = sampler
+        .series()
+        .into_iter()
+        .filter(|(_, pts)| pts.iter().any(|&(_, v)| v != 0))
+        .collect();
+    let counters = perfetto::counter_events(&series);
+    let n_counters = counters.len();
+    events.extend(counters);
+    let checked = match perfetto::validate_nesting(&events) {
         Ok(n) => n,
         Err(e) => {
-            eprintln!("[trace-export] FAIL: slices do not nest: {e}");
+            eprintln!("[trace-export] FAIL: slices/counters do not validate: {e}");
             std::process::exit(1);
         }
     };
@@ -35,10 +51,12 @@ fn main() {
     let path = results_dir().join("trace_pingpong.json");
     std::fs::write(&path, &json).expect("write trace_pingpong.json");
     eprintln!(
-        "[trace-export] {} trace records -> {} events ({slices} slices, nesting OK), \
-         half RTT {half_rtt} -> {}",
+        "[trace-export] {} trace records -> {} events ({checked} slices+counters validated, \
+         {} counter tracks x {} samples), half RTT {half_rtt} -> {}",
         records.len(),
         events.len(),
+        series.len(),
+        n_counters,
         path.display()
     );
 }

@@ -3,6 +3,7 @@
 pub mod bar1_ablation;
 pub mod bidir;
 pub mod chaos_sweep;
+pub mod congestion_heatmap;
 pub mod degraded_route;
 pub mod fig03;
 pub mod fig04;
@@ -15,6 +16,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod latency_breakdown;
+pub mod sim_profile;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,48 @@
+//! Exact sim-time partition of the headline two-node transfer.
+//!
+//! The paper's Figs. 3/4 decompose a transfer into stages by reading a
+//! PCIe bus analyzer; the simulation can do better — every picosecond
+//! of the run lies in exactly one (component, event-kind) bucket of the
+//! whole-run profiler, so the decomposition is computed, not sampled.
+//! The table is deterministic and committed under `results/`; the
+//! wall-clock companion (host µs inside each actor) goes to stderr.
+
+use crate::emit;
+use apenet_cluster::harness::{two_node_profiled, BufSide, TwoNodeParams};
+use apenet_cluster::presets::cluster_i_default;
+use apenet_sim::profile::SimProfile;
+
+/// The profiled workload: the headline G-G PUT stream at a mid-grid
+/// message size (big enough to exercise fetch/frame/replay pipelines,
+/// small enough to keep `repro-all` fast).
+pub fn params() -> TwoNodeParams {
+    TwoNodeParams {
+        src: BufSide::Gpu,
+        dst: BufSide::Gpu,
+        size: 256 * 1024,
+        count: 24,
+        staged: false,
+    }
+}
+
+/// Run the workload with the profiler attached; returns the measured
+/// bandwidth (MB/s) and the exact profile. Panics unless the profile
+/// partitions 100 % of the run span.
+pub fn profile() -> (f64, SimProfile) {
+    let (bw, prof) = two_node_profiled(cluster_i_default(), params());
+    prof.assert_exact();
+    (bw.bandwidth.mb_per_sec_f64(), prof)
+}
+
+/// Regenerate this experiment.
+pub fn run() {
+    let (mb_s, prof) = profile();
+    let p = params();
+    let title = format!(
+        "Exact sim-time partition: two-node G-G PUT stream, {} KiB x {} ({mb_s:.1} MB/s)",
+        p.size >> 10,
+        p.count,
+    );
+    emit("sim_profile", &prof.render_table(&title));
+    eprint!("{}", prof.render_wall(&title));
+}

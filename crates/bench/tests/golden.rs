@@ -28,6 +28,10 @@ fn clean_links_reproduce_golden_outputs() {
     // faults scheduled the fault plane must be pure dead code — same
     // digests byte for byte. Both passes also run with span tracing
     // enabled-then-discarded: observation must never perturb scheduling.
+    // The second pass additionally turns on occupancy sampling
+    // (`APENET_SAMPLE`) and the sim-time profiler (`APENET_PROFILE`),
+    // both enabled-then-discarded — the digests prove the whole
+    // observability plane has zero scheduling effect.
     for fault_plane in [false, true] {
         let tmp = std::env::temp_dir().join(format!(
             "apenet-golden-{}-{}",
@@ -39,6 +43,8 @@ fn clean_links_reproduce_golden_outputs() {
         std::env::set_var("APENET_TRACE", "ring:4096");
         if fault_plane {
             std::env::set_var("APENET_ROUTE_AROUND_FAULTS", "1");
+            std::env::set_var("APENET_SAMPLE", "5us");
+            std::env::set_var("APENET_PROFILE", "1");
         }
         figs::fig04::run();
         figs::fig06::run();
@@ -46,6 +52,8 @@ fn clean_links_reproduce_golden_outputs() {
         std::env::remove_var("APENET_TRACE");
         std::env::remove_var("APENET_RESULTS");
         std::env::remove_var("APENET_ROUTE_AROUND_FAULTS");
+        std::env::remove_var("APENET_SAMPLE");
+        std::env::remove_var("APENET_PROFILE");
         for (name, want) in golden {
             let bytes = std::fs::read(tmp.join(name)).expect("generated output");
             assert!(!bytes.is_empty());

@@ -6,14 +6,39 @@
 use apenet_bench::count_for;
 use apenet_bench::figs::latency_breakdown;
 use apenet_cluster::harness::{
-    flush_read_bandwidth, pingpong_instrumented, two_node_bandwidth, two_node_instrumented,
-    BufSide, TwoNodeParams,
+    chaos_run, chaos_run_sampled, flush_read_bandwidth, pingpong_instrumented,
+    pingpong_sampled_instrumented, two_node_bandwidth, two_node_instrumented, two_node_profiled,
+    BufSide, ChaosParams, TwoNodeParams,
 };
-use apenet_cluster::presets::{cluster_i_default, plx_node};
+use apenet_cluster::presets::{cluster_i_chaos, cluster_i_default, plx_node};
+use apenet_cluster::OccupancySampler;
 use apenet_core::config::GpuTxVersion;
+use apenet_core::coord::{LinkDir, TorusDims};
 use apenet_gpu::GpuArch;
 use apenet_obs::perfetto;
+use apenet_sim::fault::FaultSpec;
 use apenet_sim::trace::kind;
+use apenet_sim::{SimDuration, SimTime};
+
+fn chaos_cfg() -> apenet_cluster::NodeConfig {
+    // Soft chaos on every link *and* a hard cable kill mid-run, with
+    // fault-aware routing so delivery still completes: together they
+    // light up every metric family the cards and watchdog publish.
+    let mut cfg = cluster_i_chaos(0x0B5E_7E57, FaultSpec::chaos(1.0 / 50.0));
+    cfg.card.route_around_faults = true;
+    cfg.faults = cfg
+        .faults
+        .kill_link(0, LinkDir::Xp, SimTime::from_ps(20_000_000));
+    cfg
+}
+
+fn chaos_params() -> ChaosParams {
+    ChaosParams {
+        msgs_per_rank: 8,
+        msg_len: 32 * 1024,
+        watchdog_reissue: true,
+    }
+}
 
 #[test]
 fn pingpong_perfetto_export_nests_and_parses() {
@@ -95,6 +120,124 @@ fn tracing_does_not_change_measurements() {
         format!("{plain:?}"),
         format!("{traced:?}"),
         "trace-on and trace-off runs must measure identically"
+    );
+}
+
+#[test]
+fn sampling_is_deterministic_and_never_perturbs() {
+    let cfg = || cluster_i_chaos(0x5A3D_1E57, FaultSpec::chaos(1.0 / 50.0));
+    let dims = TorusDims::new(2, 1, 1);
+    let plain = chaos_run(dims, cfg(), chaos_params());
+    let mut s1 = OccupancySampler::new(SimDuration::from_us(2));
+    let sampled = chaos_run_sampled(dims, cfg(), chaos_params(), &mut s1);
+    // The sampler observes between events and schedules nothing: the
+    // sampled run's report — end time, deliveries, every fault counter —
+    // is identical to the unsampled run's. ChaosReport is plain data,
+    // so Debug formatting covers every field.
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{sampled:?}"),
+        "sampling must not change a single scheduled event"
+    );
+    assert!(s1.samples() > 0, "the run is long enough to tick");
+    assert!(!s1.series().is_empty());
+    // Same seed, same period: the recorded series are byte-identical.
+    let mut s2 = OccupancySampler::new(SimDuration::from_us(2));
+    let _ = chaos_run_sampled(dims, cfg(), chaos_params(), &mut s2);
+    assert_eq!(
+        s1.registry().snapshot_json(),
+        s2.registry().snapshot_json(),
+        "sampled time series must replay bit-exactly"
+    );
+    // The wire-byte series the heatmap differentiates is cumulative.
+    let series = s1.series();
+    let (_, wire) = series
+        .iter()
+        .find(|(id, _)| id == "card0.link.x+.wire_bytes")
+        .expect("rank 0's x+ port carried the ring traffic");
+    assert!(wire.windows(2).all(|w| w[0].1 <= w[1].1), "cumulative");
+    assert!(wire.last().unwrap().1 > 0);
+}
+
+#[test]
+fn profiler_partitions_a_real_run_exactly() {
+    let p = TwoNodeParams {
+        src: BufSide::Gpu,
+        dst: BufSide::Gpu,
+        size: 64 * 1024,
+        count: 8,
+        staged: false,
+    };
+    let plain = two_node_bandwidth(cluster_i_default(), p);
+    let (profiled, prof) = two_node_profiled(cluster_i_default(), p);
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{profiled:?}"),
+        "profiling must not change what a run measures"
+    );
+    // The 100 % property on a real workload: buckets + idle == span.
+    prof.assert_exact();
+    assert!(prof.span_ps > 0);
+    assert!(prof.total_events() > 0);
+    assert_eq!(prof.idle_ps, 0, "run() never idles forward");
+    // Both actor kinds of a cluster run show up as components.
+    let comps = prof.by_component();
+    assert!(comps.iter().any(|(c, _)| c == "apenet-card"));
+    assert!(comps.iter().any(|(c, _)| c == "host"));
+}
+
+#[test]
+fn sampled_pingpong_exports_valid_counter_tracks() {
+    // The trace-export bin's exact recipe: spans and counter tracks from
+    // one sampled ping-pong, merged into a single validated trace.
+    let mut sampler = OccupancySampler::new(SimDuration::from_us(2));
+    let (half_rtt, records) = pingpong_sampled_instrumented(
+        cluster_i_default(),
+        BufSide::Gpu,
+        BufSide::Gpu,
+        4096,
+        4,
+        false,
+        &mut sampler,
+    );
+    assert!(half_rtt.as_ps() > 0);
+    let mut events = perfetto::export(&records);
+    let series: Vec<_> = sampler
+        .series()
+        .into_iter()
+        .filter(|(_, pts)| pts.iter().any(|&(_, v)| v != 0))
+        .collect();
+    assert!(!series.is_empty(), "a live run leaves nonzero series");
+    events.extend(perfetto::counter_events(&series));
+    let checked = perfetto::validate_nesting(&events).expect("slices and counters validate");
+    assert!(checked > 0);
+    let json = perfetto::to_json(&events);
+    perfetto::json_sanity(&json).expect("merged export is valid JSON");
+    assert!(json.contains("\"ph\": \"C\""), "counter samples present");
+}
+
+#[test]
+fn metrics_all_declares_every_published_id() {
+    let report = chaos_run(TorusDims::new(4, 2, 1), chaos_cfg(), chaos_params());
+    let declared: std::collections::BTreeSet<&str> = apenet_core::card::metrics::ALL
+        .iter()
+        .chain(apenet_rdma::driver::metrics::ALL.iter())
+        .copied()
+        .collect();
+    for id in report.metrics.0.keys() {
+        assert!(
+            declared.contains(id.as_str()),
+            "metric {id:?} was published but is missing from metrics::ALL \
+             (add it so dashboards and the completeness check see it)"
+        );
+    }
+    // The run must actually have exercised both publishers: soft-chaos
+    // link counters from the cards, alarms from the watchdog.
+    assert!(report.metrics.get(apenet_core::card::metrics::RETRANSMITS) > 0);
+    assert!(report.metrics.get(apenet_core::card::metrics::LINK_DEAD) > 0);
+    assert!(
+        report.metrics.0.keys().count() >= declared.len(),
+        "every declared id is registered by attach/publish, even at zero"
     );
 }
 

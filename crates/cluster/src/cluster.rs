@@ -92,6 +92,14 @@ impl ClusterBuilder {
         let dims = self.dims;
         assert_eq!(programs.len(), dims.nodes(), "one program per rank");
         let mut sim: Sim<Msg> = Sim::new();
+        // APENET_PROFILE attaches the passive sim-time profiler: every
+        // event's gap and wall cost is bucketed by (actor, kind), with
+        // zero effect on the calendar. Harnesses that want the profile
+        // call `sim.take_profile()` after the run; everyone else just
+        // drops it with the Sim.
+        if std::env::var("APENET_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0") {
+            sim.attach_profiler(crate::msg::kind_of);
+        }
         let mut built = Vec::new();
         for (rank, _) in (0..dims.nodes()).enumerate() {
             let coord = dims.coord_of(rank);

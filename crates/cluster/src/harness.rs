@@ -15,11 +15,13 @@
 use crate::cluster::ClusterBuilder;
 use crate::msg::{HostApi, HostIn, HostProgram, NodeCtx};
 use crate::node::NodeConfig;
+use crate::sampling::OccupancySampler;
 use apenet_core::config::TxSinkMode;
 use apenet_core::coord::{Coord, TorusDims};
 use apenet_obs::{CounterSnapshot, Registry};
 use apenet_rdma::api::SrcHint;
 use apenet_rdma::staging::{staged_put, staged_recv_finish};
+use apenet_sim::profile::SimProfile;
 use apenet_sim::trace::{SharedSink, TraceRecord};
 use apenet_sim::{Bandwidth, SimDuration, SimTime};
 use std::cell::RefCell;
@@ -345,7 +347,7 @@ fn flush_read_impl(
             .borrow_mut()
             .attach_analyzer(shared.nic_dev, sink.clone());
     }
-    cluster.run();
+    cluster.run_auto();
     let r = records.borrow();
     (measure(&r, size), sink.take(), cluster.trace.take())
 }
@@ -406,7 +408,7 @@ pub fn loopback_bandwidth(
         records: records.clone(),
     };
     let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![Box::new(prog)]);
-    cluster.run();
+    cluster.run_auto();
     let r = records.borrow();
     let comps = &r.deliveries;
     assert!(comps.len() >= 2);
@@ -493,7 +495,7 @@ pub struct TwoNodeParams {
 
 /// Fig. 6/7 two-node uni-directional bandwidth test.
 pub fn two_node_bandwidth(node_cfg: NodeConfig, p: TwoNodeParams) -> BwResult {
-    two_node_impl(node_cfg, p, None).0
+    two_node_impl(node_cfg, p, None, false).0
 }
 
 /// [`two_node_bandwidth`] with both cards' span traces enabled: returns
@@ -503,14 +505,25 @@ pub fn two_node_instrumented(
     node_cfg: NodeConfig,
     p: TwoNodeParams,
 ) -> (BwResult, Vec<TraceRecord>) {
-    two_node_impl(node_cfg, p, Some(SharedSink::capturing()))
+    let (bw, trace, _) = two_node_impl(node_cfg, p, Some(SharedSink::capturing()), false);
+    (bw, trace)
+}
+
+/// [`two_node_bandwidth`] with the sim-time profiler attached: returns
+/// the measurement plus the exact (component, event-kind) partition of
+/// the run's simulated time — the Fig. 3/4-style "where do the
+/// nanoseconds go" view, computed instead of sampled.
+pub fn two_node_profiled(node_cfg: NodeConfig, p: TwoNodeParams) -> (BwResult, SimProfile) {
+    let (bw, _, prof) = two_node_impl(node_cfg, p, None, true);
+    (bw, prof.expect("profiler attached by two_node_impl"))
 }
 
 fn two_node_impl(
     node_cfg: NodeConfig,
     p: TwoNodeParams,
     trace: Option<SharedSink>,
-) -> (BwResult, Vec<TraceRecord>) {
+    profile: bool,
+) -> (BwResult, Vec<TraceRecord>, Option<SimProfile>) {
     let dims = TorusDims::new(2, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
     // Destination addresses are deterministic: first allocation on the
@@ -546,9 +559,13 @@ fn two_node_impl(
         builder = builder.with_trace(t);
     }
     let mut cluster = builder.build(vec![sender, receiver]);
-    cluster.run();
+    if profile {
+        cluster.sim.attach_profiler(crate::msg::kind_of);
+    }
+    cluster.run_auto();
+    let prof = cluster.sim.take_profile();
     let r = records.borrow();
-    (measure(&r, p.size), cluster.trace.take())
+    (measure(&r, p.size), cluster.trace.take(), prof)
 }
 
 /// The address the first allocation of `size` bytes lands at.
@@ -676,7 +693,7 @@ pub fn pingpong_half_rtt(
     iters: u32,
     staged: bool,
 ) -> SimDuration {
-    pingpong_impl(node_cfg, src, dst, size, iters, staged, None).0
+    pingpong_impl(node_cfg, src, dst, size, iters, staged, None, None).0
 }
 
 /// [`pingpong_half_rtt`] with both cards' span traces enabled: returns
@@ -699,9 +716,37 @@ pub fn pingpong_instrumented(
         iters,
         staged,
         Some(SharedSink::capturing()),
+        None,
     )
 }
 
+/// [`pingpong_instrumented`] with an [`OccupancySampler`] ticking
+/// through the same run: spans and occupancy series share one timeline,
+/// which is what the Perfetto export wants (counter tracks under the
+/// message slices).
+#[allow(clippy::too_many_arguments)]
+pub fn pingpong_sampled_instrumented(
+    node_cfg: NodeConfig,
+    src: BufSide,
+    dst: BufSide,
+    size: u64,
+    iters: u32,
+    staged: bool,
+    sampler: &mut OccupancySampler,
+) -> (SimDuration, Vec<TraceRecord>) {
+    pingpong_impl(
+        node_cfg,
+        src,
+        dst,
+        size,
+        iters,
+        staged,
+        Some(SharedSink::capturing()),
+        Some(sampler),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn pingpong_impl(
     node_cfg: NodeConfig,
     src: BufSide,
@@ -710,6 +755,7 @@ fn pingpong_impl(
     iters: u32,
     staged: bool,
     trace: Option<SharedSink>,
+    sampler: Option<&mut OccupancySampler>,
 ) -> (SimDuration, Vec<TraceRecord>) {
     let dims = TorusDims::new(2, 1, 1);
     let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
@@ -745,7 +791,10 @@ fn pingpong_impl(
         builder = builder.with_trace(t);
     }
     let mut cluster = builder.build(vec![initiator, responder]);
-    cluster.run();
+    match sampler {
+        Some(s) => cluster.run_sampled(s),
+        None => cluster.run_auto(),
+    };
     let r = records.borrow();
     // completions[0] is the timer start (after warm-up); the last is the
     // final pong. Each iteration is one full round trip.
@@ -965,7 +1014,7 @@ pub fn two_node_bidir_bandwidth(
         })
         .collect();
     let mut cluster = ClusterBuilder::new(dims, node_cfg).build(programs);
-    cluster.run();
+    cluster.run_auto();
     let r = records.borrow();
     // Deliveries from both directions interleave; aggregate rate over the
     // combined completion stream.
@@ -1176,6 +1225,29 @@ impl HostProgram for ChaosRank {
 /// deliveries, duplicate completions, byte-exactness of every destination
 /// region, card quiescence and the fault/recovery counter totals.
 pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> ChaosReport {
+    chaos_run_impl(dims, node_cfg, p, None)
+}
+
+/// [`chaos_run`] with an explicit [`OccupancySampler`] ticking through
+/// the run — the congestion-heatmap harness uses this to record the
+/// per-port wire-byte and queue-depth series while the fault plan does
+/// its worst. Sampling never changes the schedule, so the report is
+/// identical to an unsampled run's.
+pub fn chaos_run_sampled(
+    dims: TorusDims,
+    node_cfg: NodeConfig,
+    p: ChaosParams,
+    sampler: &mut OccupancySampler,
+) -> ChaosReport {
+    chaos_run_impl(dims, node_cfg, p, Some(sampler))
+}
+
+fn chaos_run_impl(
+    dims: TorusDims,
+    node_cfg: NodeConfig,
+    p: ChaosParams,
+    sampler: Option<&mut OccupancySampler>,
+) -> ChaosReport {
     let n = dims.nodes();
     assert!(n >= 2, "the ring workload needs at least two nodes");
     // Every counter the report quotes flows through this per-run
@@ -1209,7 +1281,10 @@ pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> Chaos
         })
         .collect();
     let mut cluster = ClusterBuilder::new(dims, node_cfg).build(programs);
-    let end = cluster.run();
+    let end = match sampler {
+        Some(s) => cluster.run_sampled(s),
+        None => cluster.run_auto(),
+    };
 
     // Verify every destination region byte-exactly: rank d's RX buffer
     // must hold its predecessor's TX stream.

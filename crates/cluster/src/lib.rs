@@ -11,14 +11,20 @@
 //!   API: loop-back, uni-directional bandwidth, ping-pong latency, host
 //!   overhead;
 //! * [`presets`] — the paper's platforms (Cluster I, Cluster II, the PLX
-//!   single-node rig) and the calibration constants in one place.
+//!   single-node rig) and the calibration constants in one place;
+//! * [`sampling`] — the deterministic occupancy sampler: periodic
+//!   read-only probes driven between calendar events, recording queue
+//!   depths, link utilization and ring fill without perturbing a single
+//!   schedule.
 
 pub mod cluster;
 pub mod harness;
 pub mod msg;
 pub mod node;
 pub mod presets;
+pub mod sampling;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use msg::{HostIn, HostProgram, Msg, NodeCtx};
 pub use node::NodeConfig;
+pub use sampling::OccupancySampler;

@@ -23,6 +23,40 @@ pub enum Msg {
     Host(HostIn),
 }
 
+/// The event-kind label of `m`, for the sim-time profiler's
+/// (component, kind) buckets: card events keep their datapath stage
+/// name (link frames split by frame type — data vs. control vs.
+/// keepalive), host events their notification name. Labels are
+/// `'static` so classification costs no allocation per event.
+pub fn kind_of(m: &Msg) -> &'static str {
+    use apenet_core::torus::LinkMsg;
+    match m {
+        Msg::Card(c) => match c {
+            CardIn::TxSubmit(_) => "tx-submit",
+            CardIn::LinkRx { msg, .. } => match msg {
+                LinkMsg::Data(_) => "link-data",
+                LinkMsg::Ack { .. } => "link-ack",
+                LinkMsg::Nak { .. } => "link-nak",
+                LinkMsg::Ping { .. } | LinkMsg::Pong { .. } => "link-keepalive",
+                _ => "link-state",
+            },
+            CardIn::LinkTimeout { .. } => "link-timeout",
+            CardIn::FetchArrived { .. } => "fetch",
+            CardIn::PushReady { .. } => "push",
+            CardIn::DrainNext => "drain",
+            CardIn::AdminLinkDown { .. } => "admin-kill",
+            CardIn::RxRingPop { .. } => "rx-ring-pop",
+        },
+        Msg::Host(h) => match h {
+            HostIn::Start => "start",
+            HostIn::Delivered { .. } => "delivered",
+            HostIn::TxDone { .. } => "tx-done",
+            HostIn::Wake(_) => "wake",
+            HostIn::Fault(_) => "fault",
+        },
+    }
+}
+
 /// Events consumed by host actors.
 #[derive(Debug, Clone)]
 pub enum HostIn {

@@ -288,6 +288,10 @@ pub enum CardOut {
 pub struct LinkStats {
     /// Data frames put on the wire (first transmissions + replays).
     pub data_frames: u64,
+    /// Wire bytes serialized onto the port (header + payload + CRC for
+    /// every data frame, replays included). Cumulative, so a sampler
+    /// can turn deltas into per-interval link utilization.
+    pub wire_bytes: u64,
     /// Data frames replayed by go-back-N (NAK- or timeout-triggered).
     pub retransmits: u64,
     /// Retransmit-timer expirations that triggered a replay.
@@ -427,6 +431,7 @@ impl CardStats {
         let mut t = LinkStats::default();
         for l in &self.links {
             t.data_frames += l.data_frames;
+            t.wire_bytes += l.wire_bytes;
             t.retransmits += l.retransmits;
             t.timeouts += l.timeouts;
             t.naks_sent += l.naks_sent;
@@ -439,6 +444,46 @@ impl CardStats {
         }
         t
     }
+}
+
+/// Point-in-time occupancy of one port's go-back-N transmit side, plus
+/// its cumulative wire-byte counter (see [`Card::occupancy`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortOccupancy {
+    /// Unacknowledged frames held in the replay buffer.
+    pub replay: usize,
+    /// Frames parked waiting for window credit.
+    pub pending: usize,
+    /// Sequence-number window currently in flight (`next_seq - base`).
+    pub in_flight: u64,
+    /// Cumulative wire bytes serialized onto this port.
+    pub wire_bytes: u64,
+}
+
+/// Point-in-time occupancy of every card-side queue and buffer — the
+/// occupancy sampler's per-tick read (see [`Card::occupancy`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CardOccupancy {
+    /// Bytes resident in the TX packet FIFO.
+    pub tx_fifo_bytes: u64,
+    /// Packets resident in the TX packet FIFO.
+    pub tx_fifo_packets: usize,
+    /// Packets parked in the header-FIFO elasticity queue.
+    pub push_wait: usize,
+    /// Bytes staged by Nios bookkeeping but not yet pushed.
+    pub staged_pending: u64,
+    /// Bytes claimed by in-flight source-memory reads.
+    pub outstanding_total: u64,
+    /// Open TX jobs (messages still fetching or draining).
+    pub tx_jobs: usize,
+    /// Partially reassembled RX messages.
+    pub rx_partial_msgs: usize,
+    /// RX event-ring entries the host has not reaped.
+    pub rx_ring_used: u32,
+    /// Completions held back by a full RX event ring.
+    pub rx_ring_held: usize,
+    /// Per-port link-layer occupancy.
+    pub ports: [PortOccupancy; NUM_PORTS],
 }
 
 struct TxJob {
@@ -684,6 +729,29 @@ impl Card {
     /// The shared host/PCIe/GPU handles.
     pub fn shared(&self) -> &CardShared {
         &self.shared
+    }
+
+    /// Read-only snapshot of every queue and buffer level on the card —
+    /// what the occupancy sampler records each tick. Pure reads over
+    /// existing state: taking a snapshot can never perturb scheduling.
+    pub fn occupancy(&self) -> CardOccupancy {
+        CardOccupancy {
+            tx_fifo_bytes: self.tx_fifo.occupied(),
+            tx_fifo_packets: self.tx_fifo.len(),
+            push_wait: self.push_wait.len(),
+            staged_pending: self.staged_pending,
+            outstanding_total: self.outstanding_total,
+            tx_jobs: self.tx_jobs.len(),
+            rx_partial_msgs: self.rx_msgs.len(),
+            rx_ring_used: self.rx_ring_used,
+            rx_ring_held: self.rx_ring_held.len(),
+            ports: std::array::from_fn(|pi| PortOccupancy {
+                replay: self.link_tx[pi].replay.len(),
+                pending: self.link_tx[pi].pending.len(),
+                in_flight: self.link_tx[pi].next_seq - self.link_tx[pi].base,
+                wire_bytes: self.stats.links[pi].wire_bytes,
+            }),
+        }
     }
 
     /// Free downstream space available for new read requests: FIFO space
@@ -1033,6 +1101,7 @@ impl Card {
             }
         }
         self.stats.links[pi].data_frames += 1;
+        self.stats.links[pi].wire_bytes += wire.wire_bytes();
         if is_retrans {
             self.stats.retransmits += 1;
             self.stats.links[pi].retransmits += 1;

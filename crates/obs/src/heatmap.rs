@@ -1,0 +1,151 @@
+//! ASCII congestion heatmaps: per-link utilization over time.
+//!
+//! The input is one row per torus link and one column per sampling
+//! interval, each cell a utilization in per-mille (0–1000) computed
+//! from *deterministic* quantities — sampled cumulative wire-byte
+//! deltas divided by what the link could have carried in the interval.
+//! Integer math end to end, so the rendered map is byte-stable and can
+//! be committed under `results/` like every other artifact.
+
+/// Glyph ramp, coldest to hottest. Ten levels keeps the map readable
+/// in a terminal while still resolving "warm" from "saturated".
+const RAMP: &[u8; 10] = b" .:-=+*#%@";
+
+/// One heatmap: named rows over fixed-width time columns.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Caption rendered above the map.
+    pub title: String,
+    /// Simulated duration of one column, in picoseconds.
+    pub col_ps: u64,
+    /// `(row label, per-column utilization in per-mille)`. Rows render
+    /// in the order given; short rows pad with cold cells.
+    pub rows: Vec<(String, Vec<u64>)>,
+}
+
+/// Map a per-mille utilization to its ramp glyph. Exact integer
+/// rounding: 0 ⇒ ' ', 1000 ⇒ '@', linear half-up in between.
+pub fn glyph(permille: u64) -> char {
+    let idx = (permille.min(1000) * (RAMP.len() as u64 - 1) + 500) / 1000;
+    RAMP[idx as usize] as char
+}
+
+impl Heatmap {
+    /// Render the map with a scale legend and a µs time axis.
+    pub fn render(&self) -> String {
+        let cols = self.rows.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&format!(
+            "# columns: {} x {} us; scale per-mille utilization: \"{}\"\n",
+            cols,
+            // Column width in µs, exact when col_ps is a whole µs.
+            self.col_ps / 1_000_000,
+            std::str::from_utf8(RAMP).unwrap(),
+        ));
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{label:<label_w$} |"));
+            for c in 0..cols {
+                out.push(glyph(cells.get(c).copied().unwrap_or(0)));
+            }
+            out.push_str("|\n");
+        }
+        // Time axis: a tick every 10 columns.
+        out.push_str(&format!("{:<label_w$} +", ""));
+        for c in 0..cols {
+            out.push(if c % 10 == 0 { '+' } else { '-' });
+        }
+        out.push_str("+\n");
+        out.push_str(&format!(
+            "{:<label_w$}  0{:>width$}\n",
+            "",
+            format!("{} us", cols as u64 * self.col_ps / 1_000_000),
+            width = cols.saturating_sub(1),
+        ));
+        out
+    }
+}
+
+/// Turn a sampled *cumulative* byte counter into per-column per-mille
+/// utilization against a link that can carry `bytes_per_col` per
+/// column. `points` are `(ps, cumulative_bytes)` in time order (the
+/// occupancy sampler's series shape); each column takes the delta
+/// across it.
+pub fn utilization_row(points: &[(u64, u64)], col_ps: u64, bytes_per_col: u64) -> Vec<u64> {
+    if points.is_empty() || col_ps == 0 || bytes_per_col == 0 {
+        return Vec::new();
+    }
+    let end = points.last().unwrap().0;
+    let cols = (end.saturating_sub(1) / col_ps + 1) as usize;
+    let mut row = vec![0u64; cols];
+    let mut prev = 0u64;
+    for &(ps, cum) in points {
+        // A sample at t covers the interval (t - period, t]; a sample
+        // landing exactly on a column boundary belongs to the column it
+        // closes, hence the t − 1 attribution.
+        let col = (ps.saturating_sub(1) / col_ps) as usize;
+        row[col] += cum.saturating_sub(prev);
+        prev = cum;
+    }
+    row.iter()
+        .map(|&bytes| (bytes * 1000 + bytes_per_col / 2) / bytes_per_col)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyph_ramp_is_monotone() {
+        assert_eq!(glyph(0), ' ');
+        assert_eq!(glyph(1000), '@');
+        assert_eq!(glyph(2000), '@', "clamped above 1000");
+        let glyphs: Vec<char> = (0..=1000).step_by(50).map(glyph).collect();
+        let mut sorted = glyphs.clone();
+        sorted.sort_by_key(|c| RAMP.iter().position(|&r| r as char == *c).unwrap());
+        assert_eq!(glyphs, sorted, "hotter cells never render colder glyphs");
+    }
+
+    #[test]
+    fn utilization_from_cumulative_samples() {
+        // 1000 bytes/col capacity; cumulative counter: 500 by col 0,
+        // 1500 by col 1, flat afterwards.
+        let pts = vec![
+            (500, 250),
+            (1_000, 500),
+            (1_500, 1_250),
+            (2_000, 1_500),
+            (3_000, 1_500),
+        ];
+        let row = utilization_row(&pts, 1_000, 1_000);
+        assert_eq!(row, vec![500, 1000, 0]);
+        assert!(utilization_row(&[], 1_000, 1_000).is_empty());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_padded() {
+        let hm = Heatmap {
+            title: "demo".into(),
+            col_ps: 2_000_000,
+            rows: vec![
+                ("x+ (0,0)->(1,0)".into(), vec![0, 500, 1000]),
+                ("short".into(), vec![1000]),
+            ],
+        };
+        let a = hm.render();
+        assert_eq!(a, hm.render());
+        assert!(a.contains("x+ (0,0)->(1,0) | +@|"), "ramp glyphs:\n{a}");
+        assert!(
+            a.contains("short           |@  |"),
+            "short rows pad cold:\n{a}"
+        );
+    }
+}

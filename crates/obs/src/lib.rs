@@ -14,15 +14,28 @@
 //!   records into per-message phase decompositions (post → fetch →
 //!   wire → delivery).
 //! * [`perfetto`] — exports those spans as Chrome/Perfetto
-//!   `trace_event` JSON keyed by simulated time, plus a dependency-free
-//!   JSON sanity parser and a nesting validator used by CI.
+//!   `trace_event` JSON keyed by simulated time — span slices plus
+//!   counter tracks fed by the occupancy sampler — with a
+//!   dependency-free JSON sanity parser and a nesting/counter
+//!   validator used by CI.
+//! * [`sampler`] — the `APENET_SAMPLE` grammar shared by the
+//!   cluster-level occupancy sampler and its consumers.
+//! * [`heatmap`] — deterministic ASCII congestion heatmaps (per-link
+//!   utilization over time) rendered from sampled byte counters.
+//! * [`gate`] — the perf-regression comparator: fresh `BENCH_*.json`
+//!   vs. committed baselines with per-metric tolerances.
 //!
 //! Everything here is observation-only: sinks and registries never
 //! schedule events, so metrics-on and metrics-off runs are
 //! byte-identical (the golden-digest tests enforce this).
 
 pub mod breakdown;
+pub mod gate;
+pub mod heatmap;
 pub mod perfetto;
 pub mod registry;
+pub mod sampler;
 
-pub use registry::{global, BandwidthSeries, Counter, CounterSnapshot, Gauge, Histogram, Registry};
+pub use registry::{
+    global, BandwidthSeries, Counter, CounterSnapshot, Gauge, Histogram, Registry, TimeSeries,
+};

@@ -23,7 +23,8 @@ use std::fmt::Write as _;
 pub struct TraceEvent {
     /// Slice/instant name.
     pub name: String,
-    /// Phase: 'X' complete slice, 'i' instant, 'M' metadata.
+    /// Phase: 'X' complete slice, 'i' instant, 'M' metadata,
+    /// 'C' counter sample.
     pub ph: char,
     /// Start time in simulated ps.
     pub ts_ps: u64,
@@ -115,6 +116,30 @@ fn span_events(sp: &SpanPhases) -> Vec<TraceEvent> {
     out
 }
 
+/// Build counter-track ('C') events from sampled time series. Each
+/// `(id, points)` pair becomes one counter track named by the series id
+/// (the occupancy sampler's stable metric ids), with one sample per
+/// `(simulated ps, value)` observation. Counter tracks sit next to the
+/// span tracks in the Perfetto UI, which is exactly the Fig. 3 view:
+/// queue depth over the same timeline as the message slices.
+pub fn counter_events(series: &[(String, Vec<(u64, u64)>)]) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for (id, points) in series {
+        for &(ps, v) in points {
+            events.push(TraceEvent {
+                name: id.clone(),
+                ph: 'C',
+                ts_ps: ps,
+                dur_ps: 0,
+                pid: PID,
+                tid: 0,
+                args: vec![("value".into(), v.to_string())],
+            });
+        }
+    }
+    events
+}
+
 fn ts_us(ps: u64) -> String {
     // Exact: ps -> µs is a /1e6 scale; render with 6 fractional digits
     // so every distinct picosecond keeps a distinct, stable text form.
@@ -170,9 +195,13 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
-/// Check that 'X' slices obey stack discipline per (pid, tid): every
-/// pair of slices on a track is either disjoint or properly contained.
-/// Returns the number of validated slices.
+/// Check that 'X' slices obey stack discipline per (pid, tid) — every
+/// pair of slices on a track is either disjoint or properly contained —
+/// and that 'C' counter samples are well-formed: each carries at least
+/// one integer-valued arg, and per (pid, counter name) the samples are
+/// sorted by non-decreasing timestamp (the trace_event format renders a
+/// counter track from its samples in file order). Returns the number of
+/// validated slices plus counter samples.
 pub fn validate_nesting(events: &[TraceEvent]) -> Result<usize, String> {
     let mut tracks: std::collections::BTreeMap<(u32, u64), Vec<&TraceEvent>> =
         std::collections::BTreeMap::new();
@@ -180,6 +209,30 @@ pub fn validate_nesting(events: &[TraceEvent]) -> Result<usize, String> {
         tracks.entry((e.pid, e.tid)).or_default().push(e);
     }
     let mut checked = 0;
+    let mut counter_ts: std::collections::BTreeMap<(u32, &str), u64> =
+        std::collections::BTreeMap::new();
+    for e in events.iter().filter(|e| e.ph == 'C') {
+        if e.args.is_empty() {
+            return Err(format!("counter {:?} sample carries no value args", e.name));
+        }
+        for (k, v) in &e.args {
+            if v.parse::<i64>().is_err() && v.parse::<f64>().is_err() {
+                return Err(format!(
+                    "counter {:?} arg {k:?} is not numeric: {v:?}",
+                    e.name
+                ));
+            }
+        }
+        let last = counter_ts.entry((e.pid, e.name.as_str())).or_insert(0);
+        if e.ts_ps < *last {
+            return Err(format!(
+                "counter {:?} samples go backwards: {} after {}",
+                e.name, e.ts_ps, last
+            ));
+        }
+        *last = e.ts_ps;
+        checked += 1;
+    }
     for ((pid, tid), mut evs) in tracks {
         // Chrome's stacking order: by start time, longer slices first.
         evs.sort_by(|a, b| a.ts_ps.cmp(&b.ts_ps).then(b.dur_ps.cmp(&a.dur_ps)));
@@ -454,6 +507,35 @@ mod tests {
         assert!(validate_nesting(&[a.clone(), b]).is_err());
         let c = slice("c".into(), 2, 50, 150); // different track: fine
         assert_eq!(validate_nesting(&[a, c]).unwrap(), 2);
+    }
+
+    #[test]
+    fn counter_tracks_validate_and_serialize() {
+        let series = vec![
+            ("card0.tx_fifo".to_string(), vec![(0, 3), (2_000_000, 7)]),
+            ("link.x+.util".to_string(), vec![(1_000_000, 450)]),
+        ];
+        let events = counter_events(&series);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.ph == 'C'));
+        let checked = validate_nesting(&events).expect("well-formed counters");
+        assert_eq!(checked, 3);
+        let json = to_json(&events);
+        json_sanity(&json).expect("counter export is well-formed JSON");
+        assert!(json.contains("\"card0.tx_fifo\""));
+        assert!(json.contains("\"args\": {\"value\": 450}"));
+
+        // Out-of-order samples on one counter are rejected...
+        let mut bad = counter_events(&series);
+        bad[0].ts_ps = 9_000_000;
+        assert!(validate_nesting(&bad).is_err());
+        // ...as are samples with no args or non-numeric args.
+        let mut no_args = counter_events(&series);
+        no_args[0].args.clear();
+        assert!(validate_nesting(&no_args).is_err());
+        let mut bad_arg = counter_events(&series);
+        bad_arg[0].args[0].1 = "\"three\"".into();
+        assert!(validate_nesting(&bad_arg).is_err());
     }
 
     #[test]

@@ -129,12 +129,55 @@ impl BandwidthSeries {
     }
 }
 
+/// Sampled time series: `(simulated ps, value)` observations appended
+/// by the occupancy sampler. Append-only and sim-time-keyed, so a
+/// deterministic schedule produces a byte-identical series; the sampler
+/// reads component state and never schedules events.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    inner: Arc<Mutex<Vec<(u64, u64)>>>,
+}
+
+impl TimeSeries {
+    /// Append one observation at simulated time `at`.
+    pub fn push(&self, at: SimTime, value: u64) {
+        self.inner.lock().unwrap().push((at.as_ps(), value));
+    }
+
+    /// All `(ps, value)` observations in append order.
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        self.inner.lock().unwrap().clone()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest observed value (0 for an empty series).
+    pub fn max_value(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Slot {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
     Bandwidth(BandwidthSeries),
+    Series(TimeSeries),
 }
 
 impl Slot {
@@ -144,6 +187,7 @@ impl Slot {
             Slot::Gauge(_) => "gauge",
             Slot::Histogram(_) => "histogram",
             Slot::Bandwidth(_) => "bandwidth",
+            Slot::Series(_) => "series",
         }
     }
 }
@@ -244,6 +288,29 @@ impl Registry {
         }
     }
 
+    /// Get or create the sampled time series `id`.
+    pub fn series(&self, id: &str) -> TimeSeries {
+        match self.slot(id, || Slot::Series(TimeSeries::default())) {
+            Slot::Series(s) => s,
+            other => panic!(
+                "metric id {id:?} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Ids of every registered time series (sorted).
+    pub fn series_ids(&self) -> Vec<String> {
+        let slots = self.slots.lock().unwrap();
+        slots
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Series(_) => Some(k.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Convenience: add `n` to counter `id` (creating it at zero first).
     pub fn add(&self, id: &str, n: u64) {
         self.counter(id).add(n);
@@ -271,6 +338,7 @@ impl Registry {
         let mut gauges = String::new();
         let mut hists = String::new();
         let mut bws = String::new();
+        let mut sers = String::new();
         for (id, slot) in slots.iter() {
             match slot {
                 Slot::Counter(c) => {
@@ -302,10 +370,19 @@ impl Registry {
                     );
                     push_entry(&mut bws, id, &body);
                 }
+                Slot::Series(s) => {
+                    let pts: Vec<String> = s
+                        .points()
+                        .iter()
+                        .map(|&(ps, v)| format!("[{ps}, {v}]"))
+                        .collect();
+                    let body = format!("{{\"points\": [{}]}}", pts.join(", "));
+                    push_entry(&mut sers, id, &body);
+                }
             }
         }
         format!(
-            "{{\n  \"counters\": {{{counters}}},\n  \"gauges\": {{{gauges}}},\n  \"histograms\": {{{hists}}},\n  \"bandwidth\": {{{bws}}}\n}}\n"
+            "{{\n  \"counters\": {{{counters}}},\n  \"gauges\": {{{gauges}}},\n  \"histograms\": {{{hists}}},\n  \"bandwidth\": {{{bws}}},\n  \"series\": {{{sers}}}\n}}\n"
         )
     }
 }
@@ -398,6 +475,21 @@ mod tests {
         assert!(a.contains("\"lat\""));
         assert!(a.contains("\"window_us\": 10.000"));
         crate::perfetto::json_sanity(&a).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn time_series_records_and_renders() {
+        let reg = Registry::new();
+        let s = reg.series("card0.tx_fifo");
+        s.push(SimTime::from_ps(1_000), 4);
+        s.push(SimTime::from_ps(2_000), 9);
+        assert_eq!(s.points(), vec![(1_000, 4), (2_000, 9)]);
+        assert_eq!(s.max_value(), 9);
+        assert_eq!(reg.series_ids(), ["card0.tx_fifo"]);
+        let json = reg.snapshot_json();
+        assert!(json.contains("\"series\": {\"card0.tx_fifo\""));
+        assert!(json.contains("[[1000, 4], [2000, 9]]"));
+        crate::perfetto::json_sanity(&json).expect("snapshot JSON parses");
     }
 
     #[test]

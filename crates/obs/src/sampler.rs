@@ -1,0 +1,77 @@
+//! Sampling-period configuration for the occupancy sampler.
+//!
+//! The sampler itself lives in the assembly layer (`apenet-cluster`),
+//! where the component state it reads is reachable; this module owns
+//! the *policy* side — parsing the `APENET_SAMPLE` environment spec
+//! into a period — so bins, tests and the cluster agree on one
+//! grammar:
+//!
+//! * unset, empty, `0`, `off` — sampling disabled;
+//! * `1`, `on` — enabled at the default period (2 µs of simulated time);
+//! * `<N>us` / `<N>ns` — enabled with an explicit period;
+//! * bare `<N>` (N ≥ 2) — enabled, period N µs.
+//!
+//! Sampling is driven *between* calendar events (see
+//! `Sim::peek_next_at`), so any period — including one much finer than
+//! the event spacing — observes state without perturbing schedules.
+
+use apenet_sim::SimDuration;
+
+/// Environment variable holding the sampling spec.
+pub const SAMPLE_ENV: &str = "APENET_SAMPLE";
+
+/// Default sampling period: 2 µs of simulated time — fine enough to
+/// resolve the ≈4 µs pingpong round trips, coarse enough that a
+/// millisecond-scale run stays in the hundreds of samples per series.
+pub const DEFAULT_PERIOD: SimDuration = SimDuration::from_us(2);
+
+/// Parse one sampling spec (the `APENET_SAMPLE` grammar above).
+/// Returns `None` when sampling is disabled, `Some(period)` otherwise.
+pub fn parse_sample_spec(spec: &str) -> Option<SimDuration> {
+    let s = spec.trim();
+    match s {
+        "" | "0" | "off" => None,
+        "1" | "on" => Some(DEFAULT_PERIOD),
+        _ => {
+            let (digits, unit_ps) = if let Some(n) = s.strip_suffix("us") {
+                (n, 1_000_000)
+            } else if let Some(n) = s.strip_suffix("ns") {
+                (n, 1_000)
+            } else {
+                (s, 1_000_000)
+            };
+            let n: u64 = digits.trim().parse().ok()?;
+            if n == 0 {
+                return None;
+            }
+            Some(SimDuration::from_ps(n * unit_ps))
+        }
+    }
+}
+
+/// Read the sampling period from `APENET_SAMPLE`, if enabled.
+pub fn sample_period_from_env() -> Option<SimDuration> {
+    std::env::var(SAMPLE_ENV)
+        .ok()
+        .and_then(|s| parse_sample_spec(&s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar() {
+        assert_eq!(parse_sample_spec(""), None);
+        assert_eq!(parse_sample_spec("0"), None);
+        assert_eq!(parse_sample_spec("off"), None);
+        assert_eq!(parse_sample_spec("1"), Some(DEFAULT_PERIOD));
+        assert_eq!(parse_sample_spec("on"), Some(DEFAULT_PERIOD));
+        assert_eq!(parse_sample_spec("5us"), Some(SimDuration::from_us(5)));
+        assert_eq!(parse_sample_spec("250ns"), Some(SimDuration::from_ns(250)));
+        assert_eq!(parse_sample_spec("10"), Some(SimDuration::from_us(10)));
+        assert_eq!(parse_sample_spec(" 3us "), Some(SimDuration::from_us(3)));
+        assert_eq!(parse_sample_spec("0us"), None);
+        assert_eq!(parse_sample_spec("banana"), None);
+    }
+}

@@ -23,6 +23,11 @@ pub mod metrics {
     /// Messages that exhausted `max_attempts` and completed with a typed
     /// error — the destination is unreachable as far as the host can tell.
     pub const UNREACHABLE: &str = "rdma.unreachable";
+
+    /// Every watchdog id, in reporting order. The completeness test in
+    /// the bench suite asserts that no published id escapes this list
+    /// (or the card's `metrics::ALL`).
+    pub const ALL: [&str; 4] = [FIRED, GAVE_UP, REISSUES, UNREACHABLE];
 }
 
 /// Completion-watchdog tuning.

@@ -6,9 +6,11 @@
 //! FIFO order of scheduling (a monotonically increasing sequence number
 //! breaks heap ties), which makes every run fully deterministic.
 
+use crate::profile::{Bucket, ProfileRow, SimProfile};
 use crate::time::{SimDuration, SimTime};
+use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Events dispatched by every [`Sim`] in this process, across threads.
@@ -16,10 +18,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// counts are on [`Sim::events_processed`].
 static GLOBAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Events dispatched by [`Sim`] instances on *this* thread. The
+    /// global counter is cross-polluted when sweep workers run
+    /// concurrently; per-thread deltas isolate each worker's share.
+    static THREAD_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
 /// Total events dispatched process-wide since start. Monotone; take a
 /// delta around a region to measure its event throughput.
 pub fn global_events() -> u64 {
     GLOBAL_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Total events dispatched on the calling thread since it started.
+/// Monotone; take a delta around a region to attribute events to one
+/// sweep worker without interference from its siblings.
+pub fn thread_events() -> u64 {
+    THREAD_EVENTS.with(|c| c.get())
 }
 
 /// Index of an actor registered with a [`Sim`].
@@ -108,6 +124,21 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+/// Passive per-run profiler state. Attached with
+/// [`Sim::attach_profiler`]; reads the event stream, never touches the
+/// calendar, so scheduling is bit-identical with it on or off.
+struct Profiler<M> {
+    /// Maps an event to its kind label. A plain fn pointer: no capture,
+    /// no allocation per event.
+    classify: fn(&M) -> &'static str,
+    /// `now` at attach time — the profile spans attach → extraction.
+    start: SimTime,
+    /// Picoseconds idled forward by `run_until` on a drained calendar.
+    idle_ps: u64,
+    /// Buckets indexed by [`ActorId`], keyed by event kind.
+    buckets: Vec<BTreeMap<&'static str, Bucket>>,
+}
+
 /// The simulation: an actor slab plus an event calendar.
 pub struct Sim<M> {
     now: SimTime,
@@ -115,6 +146,7 @@ pub struct Sim<M> {
     queue: BinaryHeap<Reverse<Scheduled<M>>>,
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     events_processed: u64,
+    profiler: Option<Profiler<M>>,
     /// Hard cap on processed events; exceeding it panics (runaway guard).
     pub max_events: u64,
 }
@@ -134,6 +166,7 @@ impl<M> Sim<M> {
             queue: BinaryHeap::new(),
             actors: Vec::new(),
             events_processed: 0,
+            profiler: None,
             max_events: u64::MAX,
         }
     }
@@ -158,6 +191,62 @@ impl<M> Sim<M> {
     /// Number of events still pending in the calendar.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Time of the next calendar entry, if any. External dispatch loops
+    /// (e.g. the occupancy sampler) use this to fire read-only probes
+    /// *between* events without ever touching the calendar — no seq
+    /// numbers are consumed and `run()`-style draining still terminates.
+    pub fn peek_next_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Attach the passive sim-time profiler. From this point every
+    /// dispatched event is attributed: the simulated-time gap it ends
+    /// (to its target actor and kind), plus wall-clock time spent in
+    /// `on_event`. Purely observational — the calendar, seq numbers and
+    /// event order are untouched, so a profiled run is bit-identical to
+    /// an unprofiled one.
+    pub fn attach_profiler(&mut self, classify: fn(&M) -> &'static str) {
+        self.profiler = Some(Profiler {
+            classify,
+            start: self.now,
+            idle_ps: 0,
+            buckets: Vec::new(),
+        });
+    }
+
+    /// Detach the profiler and fold its buckets into a [`SimProfile`]
+    /// whose rows aggregate by (actor name, kind). Returns `None` when
+    /// no profiler was attached.
+    pub fn take_profile(&mut self) -> Option<SimProfile> {
+        let p = self.profiler.take()?;
+        let mut rows: BTreeMap<(String, &'static str), Bucket> = BTreeMap::new();
+        for (id, kinds) in p.buckets.iter().enumerate() {
+            let name = self
+                .actors
+                .get(id)
+                .and_then(|a| a.as_deref())
+                .map_or_else(|| format!("actor#{id}"), |a| a.name().to_string());
+            for (kind, b) in kinds {
+                let row = rows.entry((name.clone(), kind)).or_default();
+                row.events += b.events;
+                row.sim_ps += b.sim_ps;
+                row.wall_ns += b.wall_ns;
+            }
+        }
+        Some(SimProfile {
+            rows: rows
+                .into_iter()
+                .map(|((component, kind), bucket)| ProfileRow {
+                    component,
+                    kind,
+                    bucket,
+                })
+                .collect(),
+            idle_ps: p.idle_ps,
+            span_ps: self.now.as_ps() - p.start.as_ps(),
+        })
     }
 
     /// Inject an event from outside the simulation (e.g. test setup).
@@ -187,9 +276,17 @@ impl<M> Sim<M> {
             return false;
         };
         debug_assert!(ev.at >= self.now, "calendar went backwards");
+        // Attribute the simulated-time gap this event ends, before the
+        // clock advances; the per-step gaps telescope to the exact span.
+        let profiled = self.profiler.as_mut().map(|p| {
+            let kind = (p.classify)(&ev.msg);
+            let gap_ps = ev.at.as_ps() - self.now.as_ps();
+            (kind, gap_ps, std::time::Instant::now())
+        });
         self.now = ev.at;
         self.events_processed += 1;
         GLOBAL_EVENTS.fetch_add(1, Ordering::Relaxed);
+        THREAD_EVENTS.with(|c| c.set(c.get() + 1));
         assert!(
             self.events_processed <= self.max_events,
             "simulation exceeded max_events = {} (runaway?)",
@@ -208,6 +305,16 @@ impl<M> Sim<M> {
         };
         actor.on_event(ev.msg, &mut ctx);
         self.actors[ev.to] = Some(actor);
+        if let Some((kind, gap_ps, t0)) = profiled {
+            let p = self.profiler.as_mut().expect("profiler still attached");
+            if p.buckets.len() <= ev.to {
+                p.buckets.resize_with(ev.to + 1, BTreeMap::new);
+            }
+            let b = p.buckets[ev.to].entry(kind).or_default();
+            b.events += 1;
+            b.sim_ps += gap_ps;
+            b.wall_ns += t0.elapsed().as_nanos() as u64;
+        }
         true
     }
 
@@ -222,6 +329,9 @@ impl<M> Sim<M> {
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         while let Some(Reverse(head)) = self.queue.peek() {
             if head.at > deadline {
+                if let Some(p) = self.profiler.as_mut() {
+                    p.idle_ps += deadline.as_ps().saturating_sub(self.now.as_ps());
+                }
                 self.now = deadline;
                 return self.now;
             }
@@ -229,6 +339,9 @@ impl<M> Sim<M> {
         }
         // Calendar drained before the deadline: idle forward to it, so
         // repeated run_until calls observe monotone time.
+        if let Some(p) = self.profiler.as_mut() {
+            p.idle_ps += deadline.as_ps().saturating_sub(self.now.as_ps());
+        }
         self.now = self.now.max(deadline);
         self.now
     }

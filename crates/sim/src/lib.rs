@@ -47,6 +47,7 @@ pub mod check;
 pub mod engine;
 pub mod fault;
 pub mod fifo;
+pub mod profile;
 pub mod rate;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,255 @@
+//! Exact whole-run sim-time profile.
+//!
+//! A discrete-event simulation makes time attribution *exact*, not
+//! statistical: every picosecond of the run span lies between two
+//! consecutive dispatches, and the gap before an event is the time the
+//! simulation "spent waiting" for that event. Attributing each gap to
+//! the (component, event-kind) pair that ends it telescopes to the full
+//! span — the buckets plus any idle-forward residual (from
+//! [`Sim::run_until`](crate::Sim::run_until) advancing a drained
+//! calendar to its deadline) partition 100 % of simulated time.
+//!
+//! Alongside the exact sim-time partition each bucket carries wall-clock
+//! nanoseconds spent inside the actor's `on_event`, which is what makes
+//! host-side hot spots (and parallel-sweep load imbalance) diagnosable.
+//! Wall columns are *not* deterministic and are rendered separately.
+
+use std::collections::BTreeMap;
+
+/// Accumulator for one (actor, event-kind) cell.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Bucket {
+    /// Events dispatched into this cell.
+    pub events: u64,
+    /// Simulated picoseconds attributed to this cell (gap before each
+    /// event, i.e. `ev.at - prev_now`).
+    pub sim_ps: u64,
+    /// Wall-clock nanoseconds spent inside `on_event` for this cell.
+    pub wall_ns: u64,
+}
+
+/// One aggregated row of the profile: a (component, kind) pair.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Actor name (components with equal names aggregate).
+    pub component: String,
+    /// Event kind, as reported by the classifier.
+    pub kind: &'static str,
+    /// Merged bucket.
+    pub bucket: Bucket,
+}
+
+/// The exact partition of a run's simulated time, extracted with
+/// [`Sim::take_profile`](crate::Sim::take_profile).
+#[derive(Debug, Clone, Default)]
+pub struct SimProfile {
+    /// Aggregated rows, sorted by (component, kind) — byte-stable.
+    pub rows: Vec<ProfileRow>,
+    /// Simulated picoseconds idled forward by `run_until` on a drained
+    /// calendar (no event ends these gaps, so no bucket owns them).
+    pub idle_ps: u64,
+    /// Exact run span in picoseconds: final now − now at attach.
+    pub span_ps: u64,
+}
+
+impl SimProfile {
+    /// Sum of all bucket sim-time plus the idle residual. Equals
+    /// [`span_ps`](Self::span_ps) exactly — asserted by callers.
+    pub fn accounted_ps(&self) -> u64 {
+        self.rows.iter().map(|r| r.bucket.sim_ps).sum::<u64>() + self.idle_ps
+    }
+
+    /// Total events across all rows.
+    pub fn total_events(&self) -> u64 {
+        self.rows.iter().map(|r| r.bucket.events).sum()
+    }
+
+    /// Panic unless buckets + idle == span (the 100 % property).
+    pub fn assert_exact(&self) {
+        assert_eq!(
+            self.accounted_ps(),
+            self.span_ps,
+            "sim-time profile does not partition the run span exactly"
+        );
+    }
+
+    /// Merge rows that share a component name across actors and drop
+    /// the kind dimension: per-component totals, sorted by name.
+    pub fn by_component(&self) -> Vec<(String, Bucket)> {
+        let mut map: BTreeMap<&str, Bucket> = BTreeMap::new();
+        for r in &self.rows {
+            let b = map.entry(&r.component).or_default();
+            b.events += r.bucket.events;
+            b.sim_ps += r.bucket.sim_ps;
+            b.wall_ns += r.bucket.wall_ns;
+        }
+        map.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// Deterministic Fig. 3/4-style table: component, kind, events,
+    /// sim-time and exact share of the run span. No wall-clock columns
+    /// (those are nondeterministic; see [`render_wall`](Self::render_wall)).
+    pub fn render_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {title}\n"));
+        out.push_str(&format!(
+            "# span = {} ps, events = {}, idle = {} ps\n",
+            self.span_ps,
+            self.total_events(),
+            self.idle_ps
+        ));
+        out.push_str(&format!(
+            "{:<22} {:<12} {:>10} {:>16} {:>9}\n",
+            "component", "kind", "events", "sim_ps", "share"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:<12} {:>10} {:>16} {:>8}%\n",
+                r.component,
+                r.kind,
+                r.bucket.events,
+                r.bucket.sim_ps,
+                share_str(r.bucket.sim_ps, self.span_ps),
+            ));
+        }
+        if self.idle_ps > 0 {
+            out.push_str(&format!(
+                "{:<22} {:<12} {:>10} {:>16} {:>8}%\n",
+                "(idle)",
+                "-",
+                0,
+                self.idle_ps,
+                share_str(self.idle_ps, self.span_ps),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<22} {:<12} {:>10} {:>16} {:>8}%\n",
+            "total",
+            "-",
+            self.total_events(),
+            self.accounted_ps(),
+            share_str(self.accounted_ps(), self.span_ps),
+        ));
+        out
+    }
+
+    /// Wall-clock table (host µs inside `on_event` per component/kind).
+    /// Nondeterministic — print to stderr, never into golden artifacts.
+    pub fn render_wall(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {title} (wall-clock, nondeterministic)\n"));
+        out.push_str(&format!(
+            "{:<22} {:<12} {:>10} {:>12}\n",
+            "component", "kind", "events", "wall_us"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:<12} {:>10} {:>12.1}\n",
+                r.component,
+                r.kind,
+                r.bucket.events,
+                r.bucket.wall_ns as f64 / 1_000.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Exact per-mille share rendered as a fixed-point percentage string
+/// (`"12.3"`); integer math only, so byte-stable across platforms.
+fn share_str(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "0.0".to_string();
+    }
+    // Round-half-up in per-mille, then print as xx.y.
+    let permille = (part as u128 * 1000 + whole as u128 / 2) / whole as u128;
+    format!("{}.{}", permille / 10, permille % 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Actor, Ctx, Sim};
+    use crate::{SimDuration, SimTime};
+
+    enum Msg {
+        Tick(u32),
+        Tock,
+    }
+
+    fn classify(m: &Msg) -> &'static str {
+        match m {
+            Msg::Tick(_) => "tick",
+            Msg::Tock => "tock",
+        }
+    }
+
+    struct Clock;
+    impl Actor<Msg> for Clock {
+        fn on_event(&mut self, ev: Msg, ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Tick(n) = ev {
+                if n > 0 {
+                    ctx.send_self(SimDuration::from_ns(7), Msg::Tick(n - 1));
+                    ctx.send_self(SimDuration::from_ns(3), Msg::Tock);
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "clock"
+        }
+    }
+
+    #[test]
+    fn profile_partitions_span_exactly() {
+        let mut sim = Sim::new();
+        let a = sim.add_actor(Box::new(Clock));
+        sim.attach_profiler(classify);
+        sim.send(a, SimTime::from_ps(500), Msg::Tick(10));
+        sim.run();
+        let p = sim.take_profile().expect("profiler attached");
+        p.assert_exact();
+        assert_eq!(p.span_ps, sim.now().as_ps());
+        assert_eq!(p.total_events(), sim.events_processed());
+        let kinds: Vec<&str> = p.rows.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, ["tick", "tock"], "rows sorted by (component, kind)");
+        assert!(p.rows.iter().all(|r| r.component == "clock"));
+        assert_eq!(p.idle_ps, 0);
+    }
+
+    #[test]
+    fn run_until_idle_residual_is_accounted() {
+        let mut sim = Sim::new();
+        let a = sim.add_actor(Box::new(Clock));
+        sim.attach_profiler(classify);
+        sim.send(a, SimTime::from_ps(100), Msg::Tock);
+        // Calendar drains at 100 ps; the clock idles forward to 1 µs.
+        sim.run_until(SimTime::from_ps(1_000_000));
+        let p = sim.take_profile().expect("profiler attached");
+        p.assert_exact();
+        assert_eq!(p.span_ps, 1_000_000);
+        assert_eq!(p.idle_ps, 1_000_000 - 100);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_sums_to_100() {
+        let mut sim = Sim::new();
+        let a = sim.add_actor(Box::new(Clock));
+        sim.attach_profiler(classify);
+        sim.send(a, SimTime::ZERO, Msg::Tick(4));
+        sim.run();
+        let p = sim.take_profile().unwrap();
+        let t1 = p.render_table("t");
+        let t2 = p.render_table("t");
+        assert_eq!(t1, t2);
+        assert!(t1.ends_with("100.0%\n"), "total row shows 100.0%:\n{t1}");
+    }
+
+    #[test]
+    fn share_str_rounds_exactly() {
+        assert_eq!(share_str(0, 10), "0.0");
+        assert_eq!(share_str(10, 10), "100.0");
+        assert_eq!(share_str(1, 3), "33.3");
+        assert_eq!(share_str(2, 3), "66.7");
+        assert_eq!(share_str(5, 0), "0.0");
+    }
+}

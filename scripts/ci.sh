@@ -19,6 +19,19 @@ cargo test --workspace --offline -q
 echo "==> trace-export smoke (Perfetto exporter self-validates nesting + JSON)"
 cargo run --release --offline -q -p apenet-bench --bin trace-export
 
+echo "==> deterministic telemetry artifacts (sim-profile + congestion-heatmap match committed)"
+cargo run --release --offline -q -p apenet-bench --bin sim-profile
+cargo run --release --offline -q -p apenet-bench --bin congestion-heatmap
+git diff --exit-code -- results/sim_profile.txt results/congestion_heatmap.txt
+
+echo "==> perf-regression gate (fresh microbench vs committed BENCH_microbench.json)"
+# Wide tolerance + few iters: shared CI runners are noisy; the gate still
+# catches step-function regressions, and deterministic event counts are
+# compared exactly regardless of tolerance.
+APENET_GATE_TOL="${APENET_GATE_TOL:-0.35}" \
+APENET_BENCH_ITERS="${APENET_BENCH_ITERS:-5}" \
+    cargo run --release --offline -q -p apenet-bench --bin perf-gate
+
 echo "==> chaos soak (APENET_CHAOS_CASES=${APENET_CHAOS_CASES:-512} seeded fault schedules)"
 APENET_CHAOS_CASES="${APENET_CHAOS_CASES:-512}" \
     cargo test --release --offline -q -p apenet-cluster --test chaos
