@@ -161,6 +161,42 @@ fn engine_benches(h: &mut Harness) {
         sim.run();
         sim.events_processed()
     });
+    // The calendar-depth counterpart of engine_dispatch_100k: the dense
+    // bench spaces events 10 ns apart (every pop lands in the current or
+    // next bucket), this one spaces them 1 µs – 1 ms apart under a
+    // standing far-future backlog, so pops rotate whole calendar years
+    // and the bucket-width adaptation has to chase the sparse horizon.
+    // Pinning both shapes in the gate keeps a scheduler change honest on
+    // dense *and* sparse calendars.
+    struct WideRelay {
+        peer: usize,
+    }
+    impl Actor<u64> for WideRelay {
+        fn on_event(&mut self, ev: u64, ctx: &mut Ctx<'_, u64>) {
+            if ev > 0 {
+                let delay_ns = 1_000 + ev.wrapping_mul(7919) % 1_000_000;
+                ctx.send(self.peer, SimDuration::from_ns(delay_ns), ev - 1);
+            }
+        }
+    }
+    struct Sink;
+    impl Actor<u64> for Sink {
+        fn on_event(&mut self, _ev: u64, _ctx: &mut Ctx<'_, u64>) {}
+    }
+    h.bench("engine_dispatch_wide_100k", || {
+        let mut sim: Sim<u64> = Sim::new();
+        let a = sim.add_actor(Box::new(WideRelay { peer: 1 }));
+        let b = sim.add_actor(Box::new(WideRelay { peer: a }));
+        let sink = sim.add_actor(Box::new(Sink));
+        // A standing population spread over the whole ~50 s horizon keeps
+        // far-future buckets occupied while the chain pops the near edge.
+        for i in 0..1024u64 {
+            sim.send(sink, SimTime::from_ps(i * 100_000_000_000), i);
+        }
+        sim.send(b, SimTime::ZERO, 100_000u64);
+        sim.run();
+        sim.events_processed()
+    });
     h.bench("bandwidth_time_for_x64k", || {
         let bw = Bandwidth::from_mb_per_sec(1536);
         let mut acc = 0u64;

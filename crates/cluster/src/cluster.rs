@@ -1,6 +1,6 @@
 //! The torus-wired cluster builder.
 
-use crate::msg::{CardActor, HostActor, HostIn, HostProgram, Msg, NodeCtx};
+use crate::msg::{CardActor, ClusterActor, HostActor, HostIn, HostProgram, Msg, NodeCtx};
 use crate::node::{build_node, NodeConfig};
 use apenet_core::card::{CardIn, CardShared};
 use apenet_core::coord::{LinkDir, TorusDims};
@@ -27,8 +27,10 @@ pub struct NodeHandles {
 
 /// A built cluster: the simulation plus actor ids and node handles.
 pub struct Cluster {
-    /// The event engine, ready to run.
-    pub sim: Sim<Msg>,
+    /// The event engine, ready to run. The actor type is the concrete
+    /// [`ClusterActor`] enum, so dispatch is a single match — no boxing,
+    /// no vtable — on the hot path.
+    pub sim: Sim<Msg, ClusterActor>,
     /// Torus dimensions.
     pub dims: TorusDims,
     /// Host actor ids by rank.
@@ -91,7 +93,7 @@ impl ClusterBuilder {
     pub fn build(self, programs: Vec<Box<dyn HostProgram>>) -> Cluster {
         let dims = self.dims;
         assert_eq!(programs.len(), dims.nodes(), "one program per rank");
-        let mut sim: Sim<Msg> = Sim::new();
+        let mut sim: Sim<Msg, ClusterActor> = Sim::new();
         // APENET_PROFILE attaches the passive sim-time profiler: every
         // event's gap and wall cost is bucketed by (actor, kind), with
         // zero effect on the calendar. Harnesses that want the profile
@@ -159,7 +161,7 @@ impl ClusterBuilder {
                 let nb = dims.neighbor(dims.coord_of(rank), dir);
                 actor.neighbors[dir.index()] = Some(dims.rank_of(nb));
             }
-            let id = sim.add_actor(Box::new(actor));
+            let id = sim.add_actor(ClusterActor::Card(Box::new(actor)));
             assert_eq!(id, rank);
             cards.push(id);
             handles.push(NodeHandles {
@@ -181,7 +183,11 @@ impl ClusterBuilder {
         let mut hosts = Vec::new();
         for (rank, ctx) in host_ctxs.into_iter().enumerate() {
             let program = programs.remove(0);
-            let id = sim.add_actor(Box::new(HostActor::new(ctx, program, cards[rank])));
+            let id = sim.add_actor(ClusterActor::Host(Box::new(HostActor::new(
+                ctx,
+                program,
+                cards[rank],
+            ))));
             assert_eq!(id, n + rank);
             hosts.push(id);
             sim.send(id, SimTime::ZERO, Msg::Host(HostIn::Start));
@@ -236,8 +242,7 @@ impl Cluster {
     pub fn host(&self, rank: usize) -> &HostActor {
         self.sim
             .actor(self.hosts[rank])
-            .as_any()
-            .and_then(|a| a.downcast_ref::<HostActor>())
+            .as_host()
             .expect("host actor at host id")
     }
 
@@ -245,8 +250,7 @@ impl Cluster {
     pub fn card(&self, rank: usize) -> &CardActor {
         self.sim
             .actor(self.cards[rank])
-            .as_any()
-            .and_then(|a| a.downcast_ref::<CardActor>())
+            .as_card()
             .expect("card actor at card id")
     }
 

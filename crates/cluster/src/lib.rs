@@ -25,6 +25,6 @@ pub mod presets;
 pub mod sampling;
 
 pub use cluster::{Cluster, ClusterBuilder};
-pub use msg::{HostIn, HostProgram, Msg, NodeCtx};
+pub use msg::{ClusterActor, HostIn, HostProgram, Msg, NodeCtx};
 pub use node::NodeConfig;
 pub use sampling::OccupancySampler;

@@ -284,3 +284,67 @@ impl Actor<Msg> for HostActor {
         Some(self)
     }
 }
+
+/// The closed actor set of a cluster simulation. The cluster registers
+/// this enum (not boxed trait objects) with the engine, so every event
+/// dispatch is a single match on the variant — static dispatch into the
+/// card or host code — instead of a vtable call. [`CardActor`] and
+/// [`HostActor`] still implement [`Actor`] directly, which keeps them
+/// usable in boxed unit rigs. Variants box their payload: a card is
+/// ~3 KB of state, and the engine checks the target actor out of its
+/// slab slot by move on every dispatch — boxing keeps that checkout a
+/// pointer move while the match itself stays static (no vtable).
+pub enum ClusterActor {
+    /// A card (datapath) actor.
+    Card(Box<CardActor>),
+    /// A host (program) actor.
+    Host(Box<HostActor>),
+}
+
+impl ClusterActor {
+    /// The card inside, if this is a card actor.
+    pub fn as_card(&self) -> Option<&CardActor> {
+        match self {
+            ClusterActor::Card(c) => Some(c),
+            ClusterActor::Host(_) => None,
+        }
+    }
+
+    /// The host inside, if this is a host actor.
+    pub fn as_host(&self) -> Option<&HostActor> {
+        match self {
+            ClusterActor::Host(h) => Some(h),
+            ClusterActor::Card(_) => None,
+        }
+    }
+}
+
+impl Actor<Msg> for ClusterActor {
+    fn on_event(&mut self, ev: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            ClusterActor::Card(c) => c.on_event(ev, ctx),
+            ClusterActor::Host(h) => h.on_event(ev, ctx),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            ClusterActor::Card(c) => c.name(),
+            ClusterActor::Host(h) => h.name(),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        match self {
+            ClusterActor::Card(c) => c.as_any(),
+            ClusterActor::Host(h) => h.as_any(),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        match self {
+            ClusterActor::Card(c) => c.as_any_mut(),
+            ClusterActor::Host(h) => h.as_any_mut(),
+        }
+    }
+}

@@ -126,8 +126,47 @@ pub fn fragments(len: u64) -> impl Iterator<Item = (u64, u32)> {
 }
 
 /// A small, dependency-free CRC-32 (polynomial 0xEDB88320).
+///
+/// Table-driven "slice-by-8": 8 compile-time tables let the payload loop
+/// consume 8 bytes per iteration with no per-bit work. Every packet is
+/// sealed at the TX stage and verified at each link RX, with payloads up
+/// to 4 KiB, so this sits squarely on the simulator's hot path — the
+/// bit-at-a-time version it replaced dominated real-run wall time.
+/// Output is identical to the bitwise definition (the reference check
+/// value CRC32("123456789") = 0xCBF43926 is pinned in tests).
 struct Crc32 {
     state: u32,
+}
+
+/// `TABLES[0]` is the classic per-byte CRC table; `TABLES[k][b]` extends
+/// `TABLES[k-1][b]` by one zero byte, so 8 lookups advance 8 bytes.
+static CRC32_TABLES: [[u32; 256]; 8] = build_crc32_tables();
+
+const fn build_crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut crc = b as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        tables[0][b] = crc;
+        b += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut b = 0usize;
+        while b < 256 {
+            let prev = tables[k - 1][b];
+            tables[k][b] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            b += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
 impl Crc32 {
@@ -136,13 +175,25 @@ impl Crc32 {
     }
 
     fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.state ^= b as u32;
-            for _ in 0..8 {
-                let mask = (self.state & 1).wrapping_neg();
-                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
-            }
+        let t = &CRC32_TABLES;
+        let mut chunks = data.chunks_exact(8);
+        let mut crc = self.state;
+        for c in &mut chunks {
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
         }
+        for &b in chunks.remainder() {
+            crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
     }
 
     fn finish(self) -> u32 {

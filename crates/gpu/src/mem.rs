@@ -56,14 +56,17 @@ impl Memory {
     pub fn new(base: u64, capacity: u64, page_size: u64) -> Self {
         assert!(page_size.is_power_of_two());
         assert_eq!(capacity % page_size, 0, "capacity must be page aligned");
-        let n_pages = (capacity / page_size) as usize;
         let mut free = BTreeMap::new();
         free.insert(0, capacity);
         Memory {
             base,
             capacity,
             page_size,
-            pages: (0..n_pages).map(|_| None).collect(),
+            // The page table itself grows on first touch: a 6 GB device
+            // memory has ~100k page slots, and zero-initializing them per
+            // Memory was measurable in harnesses that build nodes per
+            // benchmark repetition.
+            pages: Vec::new(),
             free,
             allocs: BTreeMap::new(),
         }
@@ -146,6 +149,9 @@ impl Memory {
     /// The (shared, lazily zero-filled) page covering offset `off`.
     fn page_arc(&mut self, off: u64) -> &Arc<[u8]> {
         let idx = (off / self.page_size) as usize;
+        if self.pages.len() <= idx {
+            self.pages.resize(idx + 1, None);
+        }
         let ps = self.page_size as usize;
         self.pages[idx].get_or_insert_with(|| vec![0u8; ps].into())
     }

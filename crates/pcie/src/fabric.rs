@@ -41,6 +41,14 @@ pub enum PathClass {
     CrossSocket,
 }
 
+/// One precomputed hop of a TLP path: the link to reserve (`None` at
+/// the QPI root-to-root seam) and the forwarding latency charged after
+/// crossing it (zero into the final endpoint).
+struct Hop {
+    link: Option<(usize, Dir)>,
+    forward: SimDuration,
+}
+
 /// The outcome of sending one TLP end to end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlpArrival {
@@ -263,24 +271,44 @@ impl Fabric {
         }
     }
 
-    /// Send one TLP of `kind` with `payload` data bytes from endpoint `from`
-    /// to endpoint `to`, reserving every traversed link store-and-forward.
-    pub fn send_tlp(
-        &mut self,
-        now: SimTime,
-        from: DeviceId,
-        to: DeviceId,
-        kind: TlpKind,
-        payload: u32,
-    ) -> TlpArrival {
-        let wire = kind.wire_bytes(payload);
+    /// Precompute the hop plan from `from` to `to`: per hop, the link to
+    /// reserve (`None` for the QPI root-to-root seam) and the forwarding
+    /// latency charged after crossing it. Streams compute this once and
+    /// replay it per chunk instead of re-walking the tree per TLP.
+    fn hop_plan(&self, from: DeviceId, to: DeviceId) -> Vec<Hop> {
         let path = self.node_path(from.0, to.0);
         assert!(path.len() >= 2, "from == to or disconnected");
+        (0..path.len() - 1)
+            .map(|w| {
+                let (x, y) = (path[w], path[w + 1]);
+                Hop {
+                    link: self.connecting_link(x, y),
+                    // The node we just arrived at forwards (unless it is
+                    // the final destination endpoint).
+                    forward: if w + 1 < path.len() - 1 {
+                        self.forward_latency_of(y)
+                    } else {
+                        SimDuration::ZERO
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Run one TLP over a precomputed hop plan, reserving every traversed
+    /// link store-and-forward.
+    fn send_tlp_over(
+        &mut self,
+        now: SimTime,
+        kind: TlpKind,
+        payload: u32,
+        hops: &[Hop],
+    ) -> TlpArrival {
+        let wire = kind.wire_bytes(payload);
         let mut ready = now;
         let mut first_start = None;
-        for w in 0..path.len() - 1 {
-            let (x, y) = (path[w], path[w + 1]);
-            match self.connecting_link(x, y) {
+        for hop in hops {
+            match hop.link {
                 Some((link, dir)) => {
                     let res: Reservation = self.links[link].reserve(ready, dir, wire);
                     if first_start.is_none() {
@@ -309,11 +337,7 @@ impl Fabric {
                     first_start.get_or_insert(ready);
                 }
             }
-            // The node we just arrived at forwards (unless it is the final
-            // destination endpoint).
-            if w + 1 < path.len() - 1 {
-                ready += self.forward_latency_of(y);
-            }
+            ready += hop.forward;
         }
         TlpArrival {
             start: first_start.unwrap(),
@@ -321,8 +345,23 @@ impl Fabric {
         }
     }
 
+    /// Send one TLP of `kind` with `payload` data bytes from endpoint `from`
+    /// to endpoint `to`, reserving every traversed link store-and-forward.
+    pub fn send_tlp(
+        &mut self,
+        now: SimTime,
+        from: DeviceId,
+        to: DeviceId,
+        kind: TlpKind,
+        payload: u32,
+    ) -> TlpArrival {
+        let hops = self.hop_plan(from, to);
+        self.send_tlp_over(now, kind, payload, &hops)
+    }
+
     /// Send `len` bytes of data as a stream of `kind` TLPs with payloads of
     /// at most `chunk` bytes. Returns the arrival time of the final TLP.
+    /// The path is resolved once for the whole stream.
     pub fn send_stream(
         &mut self,
         now: SimTime,
@@ -332,10 +371,11 @@ impl Fabric {
         len: u64,
         chunk: u32,
     ) -> TlpArrival {
+        let hops = self.hop_plan(from, to);
         let mut first = None;
         let mut last = now;
         for payload in tlp::chunks(len, chunk) {
-            let a = self.send_tlp(now, from, to, kind, payload);
+            let a = self.send_tlp_over(now, kind, payload, &hops);
             first.get_or_insert(a.start);
             last = a.arrive;
         }

@@ -1,16 +1,27 @@
-//! The discrete-event engine: actors, calendar, dispatch loop.
+//! The discrete-event engine: actor slab, calendar queue, dispatch loop.
 //!
-//! The engine is generic over the message type `M`, so each assembly (the
-//! APEnet+ cluster, the InfiniBand cluster, unit-test rigs) defines its own
-//! closed event enum. Events scheduled for the same instant are delivered in
-//! FIFO order of scheduling (a monotonically increasing sequence number
-//! breaks heap ties), which makes every run fully deterministic.
+//! The engine is generic over the message type `M` *and* the registered
+//! actor type `A`, so each assembly (the APEnet+ cluster, the InfiniBand
+//! cluster, unit-test rigs) defines its own closed event enum and — on
+//! the hot path — a closed actor enum dispatched by a single match
+//! instead of a vtable call. `A` defaults to `Box<dyn Actor<M>>`, which
+//! keeps every pre-slab caller and test compiling unchanged (a blanket
+//! [`Actor`] impl for boxes forwards through the pointer).
+//!
+//! Events live in a pooled [`CalendarQueue`]: the envelope of a
+//! scheduled message is a recycled arena slot, not a per-push heap
+//! allocation, and pop/push are O(1) in the steady state instead of the
+//! binary heap's O(log n). Events scheduled for the same instant are
+//! delivered in FIFO order of scheduling (a monotonically increasing
+//! sequence number breaks ties), which makes every run fully
+//! deterministic — the calendar swap preserves the `(at, seq)` total
+//! order bit-for-bit (see `tests/calendar_equiv.rs`).
 
+use crate::calendar::CalendarQueue;
 use crate::profile::{Bucket, ProfileRow, SimProfile};
 use crate::time::{SimDuration, SimTime};
 use std::cell::Cell;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Events dispatched by every [`Sim`] in this process, across threads.
@@ -18,22 +29,68 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// counts are on [`Sim::events_processed`].
 static GLOBAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+/// Batch size for publishing locally-counted events to [`GLOBAL_EVENTS`].
+/// A relaxed `fetch_add` per dispatched event was measurable contention
+/// when sweep workers run concurrently; each thread now accumulates into
+/// a plain `Cell` and publishes in batches (plus a flush at every run-loop
+/// exit, `Sim` drop, and [`global_events`] read, so same-thread readers
+/// always observe exact totals).
+const GLOBAL_FLUSH_BATCH: u64 = 1024;
+
 thread_local! {
     /// Events dispatched by [`Sim`] instances on *this* thread. The
     /// global counter is cross-polluted when sweep workers run
     /// concurrently; per-thread deltas isolate each worker's share.
+    /// Always exact — never batched.
     static THREAD_EVENTS: Cell<u64> = const { Cell::new(0) };
+    /// Events counted on this thread but not yet published to
+    /// [`GLOBAL_EVENTS`].
+    static GLOBAL_PENDING: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Count one dispatched event on the calling thread.
+#[inline]
+fn count_event() {
+    THREAD_EVENTS.with(|c| c.set(c.get() + 1));
+    GLOBAL_PENDING.with(|c| {
+        let n = c.get() + 1;
+        if n >= GLOBAL_FLUSH_BATCH {
+            GLOBAL_EVENTS.fetch_add(n, Ordering::Relaxed);
+            c.set(0);
+        } else {
+            c.set(n);
+        }
+    });
+}
+
+/// Publish this thread's pending event count to the global counter.
+/// Called automatically at run-loop exits and by [`global_events`]; only
+/// needed directly when reading [`global_events`] from a *different*
+/// thread while this one is mid-run.
+pub fn flush_thread_events() {
+    GLOBAL_PENDING.with(|c| {
+        let n = c.get();
+        if n > 0 {
+            GLOBAL_EVENTS.fetch_add(n, Ordering::Relaxed);
+            c.set(0);
+        }
+    });
 }
 
 /// Total events dispatched process-wide since start. Monotone; take a
-/// delta around a region to measure its event throughput.
+/// delta around a region to measure its event throughput. Flushes the
+/// calling thread's pending batch first, so single-threaded deltas are
+/// exact; counts from other still-running threads may lag by up to one
+/// batch until their run loops exit.
 pub fn global_events() -> u64 {
+    flush_thread_events();
     GLOBAL_EVENTS.load(Ordering::Relaxed)
 }
 
 /// Total events dispatched on the calling thread since it started.
-/// Monotone; take a delta around a region to attribute events to one
-/// sweep worker without interference from its siblings.
+/// Monotone and exact (never batched); take a delta around a region to
+/// attribute events to one sweep worker without interference from its
+/// siblings.
 pub fn thread_events() -> u64 {
     THREAD_EVENTS.with(|c| c.get())
 }
@@ -62,27 +119,79 @@ pub trait Actor<M> {
     }
 }
 
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    to: ActorId,
-    msg: M,
+/// Compatibility shim: a boxed actor (including `Box<dyn Actor<M>>`) is
+/// itself an actor, forwarding through the pointer. This is what lets
+/// `Sim<M>` default to boxed dynamic dispatch while assemblies register
+/// concrete enum variants for static dispatch.
+impl<M, T: Actor<M> + ?Sized> Actor<M> for Box<T> {
+    fn on_event(&mut self, ev: M, ctx: &mut Ctx<'_, M>) {
+        (**self).on_event(ev, ctx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
+    }
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// The registry of actors in a [`Sim`]: a slab of slots indexed by
+/// [`ActorId`]. During dispatch the target actor is checked out of its
+/// slot so it can borrow the calendar through [`Ctx`] without aliasing
+/// itself.
+pub struct ActorSlab<A> {
+    slots: Vec<Option<A>>,
+}
+
+impl<A> Default for ActorSlab<A> {
+    fn default() -> Self {
+        Self::new()
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl<A> ActorSlab<A> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        ActorSlab { slots: Vec::new() }
     }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+
+    /// Register an actor, returning its id.
+    pub fn insert(&mut self, actor: A) -> ActorId {
+        let id = self.slots.len();
+        self.slots.push(Some(actor));
+        id
+    }
+
+    /// Number of registered actors (including any checked out).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no actors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Borrow the actor in slot `id`; `None` if out of range or checked
+    /// out.
+    pub fn get(&self, id: ActorId) -> Option<&A> {
+        self.slots.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable counterpart of [`ActorSlab::get`].
+    pub fn get_mut(&mut self, id: ActorId) -> Option<&mut A> {
+        self.slots.get_mut(id).and_then(|s| s.as_mut())
+    }
+
+    fn take(&mut self, id: ActorId) -> Option<A> {
+        self.slots.get_mut(id).and_then(|s| s.take())
+    }
+
+    fn put(&mut self, id: ActorId, actor: A) {
+        self.slots[id] = Some(actor);
     }
 }
 
@@ -91,7 +200,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: ActorId,
     seq: &'a mut u64,
-    queue: &'a mut BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: &'a mut CalendarQueue<M>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -115,7 +224,7 @@ impl<'a, M> Ctx<'a, M> {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = *self.seq;
         *self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, to, msg }));
+        self.queue.push(at, seq, to, msg);
     }
 
     /// Schedule `msg` back to the current actor, `delay` from now.
@@ -139,32 +248,45 @@ struct Profiler<M> {
     buckets: Vec<BTreeMap<&'static str, Bucket>>,
 }
 
-/// The simulation: an actor slab plus an event calendar.
-pub struct Sim<M> {
+/// The simulation: an [`ActorSlab`] plus a pooled [`CalendarQueue`].
+///
+/// `A` is the registered actor type. The default, `Box<dyn Actor<M>>`,
+/// gives the classic open-world dynamic dispatch; assemblies that know
+/// their full actor set (the APEnet+ cluster, the IB model) register a
+/// concrete enum instead and every dispatch is a direct match.
+pub struct Sim<M, A: Actor<M> = Box<dyn Actor<M>>> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    queue: CalendarQueue<M>,
+    actors: ActorSlab<A>,
     events_processed: u64,
     profiler: Option<Profiler<M>>,
     /// Hard cap on processed events; exceeding it panics (runaway guard).
     pub max_events: u64,
 }
 
-impl<M> Default for Sim<M> {
+impl<M, A: Actor<M>> Default for Sim<M, A> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> Sim<M> {
+impl<M, A: Actor<M>> Drop for Sim<M, A> {
+    fn drop(&mut self) {
+        // A sweep worker's results are read after its sims are gone;
+        // publish any batched counts so cross-thread totals converge.
+        flush_thread_events();
+    }
+}
+
+impl<M, A: Actor<M>> Sim<M, A> {
     /// Create an empty simulation at t = 0.
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            actors: Vec::new(),
+            queue: CalendarQueue::new(),
+            actors: ActorSlab::new(),
             events_processed: 0,
             profiler: None,
             max_events: u64::MAX,
@@ -172,10 +294,8 @@ impl<M> Sim<M> {
     }
 
     /// Register an actor, returning its id.
-    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
-        let id = self.actors.len();
-        self.actors.push(Some(actor));
-        id
+    pub fn add_actor(&mut self, actor: A) -> ActorId {
+        self.actors.insert(actor)
     }
 
     /// Current simulated time.
@@ -198,7 +318,7 @@ impl<M> Sim<M> {
     /// *between* events without ever touching the calendar — no seq
     /// numbers are consumed and `run()`-style draining still terminates.
     pub fn peek_next_at(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(e)| e.at)
+        self.queue.peek_at_ref()
     }
 
     /// Attach the passive sim-time profiler. From this point every
@@ -226,7 +346,6 @@ impl<M> Sim<M> {
             let name = self
                 .actors
                 .get(id)
-                .and_then(|a| a.as_deref())
                 .map_or_else(|| format!("actor#{id}"), |a| a.name().to_string());
             for (kind, b) in kinds {
                 let row = rows.entry((name.clone(), kind)).or_default();
@@ -254,25 +373,25 @@ impl<M> Sim<M> {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, to, msg }));
+        self.queue.push(at, seq, to, msg);
     }
 
     /// Borrow a registered actor (e.g. to read results after a run).
     ///
     /// Panics if the actor is currently being dispatched.
-    pub fn actor(&self, id: ActorId) -> &dyn Actor<M> {
-        self.actors[id].as_deref().expect("actor checked out")
+    pub fn actor(&self, id: ActorId) -> &A {
+        self.actors.get(id).expect("actor checked out")
     }
 
     /// Mutably borrow a registered actor.
-    pub fn actor_mut(&mut self, id: ActorId) -> &mut (dyn Actor<M> + 'static) {
-        self.actors[id].as_deref_mut().expect("actor checked out")
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
+        self.actors.get_mut(id).expect("actor checked out")
     }
 
     /// Dispatch the next event, if any. Returns `false` when the calendar is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop() else {
             return false;
         };
         debug_assert!(ev.at >= self.now, "calendar went backwards");
@@ -285,8 +404,7 @@ impl<M> Sim<M> {
         });
         self.now = ev.at;
         self.events_processed += 1;
-        GLOBAL_EVENTS.fetch_add(1, Ordering::Relaxed);
-        THREAD_EVENTS.with(|c| c.set(c.get() + 1));
+        count_event();
         assert!(
             self.events_processed <= self.max_events,
             "simulation exceeded max_events = {} (runaway?)",
@@ -294,8 +412,9 @@ impl<M> Sim<M> {
         );
         // Check the actor out of the slab so it can borrow the queue through
         // Ctx without aliasing itself.
-        let mut actor = self.actors[ev.to]
-            .take()
+        let mut actor = self
+            .actors
+            .take(ev.to)
             .unwrap_or_else(|| panic!("event for missing actor #{}", ev.to));
         let mut ctx = Ctx {
             now: self.now,
@@ -304,7 +423,7 @@ impl<M> Sim<M> {
             queue: &mut self.queue,
         };
         actor.on_event(ev.msg, &mut ctx);
-        self.actors[ev.to] = Some(actor);
+        self.actors.put(ev.to, actor);
         if let Some((kind, gap_ps, t0)) = profiled {
             let p = self.profiler.as_mut().expect("profiler still attached");
             if p.buckets.len() <= ev.to {
@@ -321,18 +440,20 @@ impl<M> Sim<M> {
     /// Run until the calendar is empty. Returns the final time.
     pub fn run(&mut self) -> SimTime {
         while self.step() {}
+        flush_thread_events();
         self.now
     }
 
     /// Run until the calendar is empty or the next event would be after
     /// `deadline`; the clock never advances past `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.queue.peek_at() {
+            if head_at > deadline {
                 if let Some(p) = self.profiler.as_mut() {
                     p.idle_ps += deadline.as_ps().saturating_sub(self.now.as_ps());
                 }
                 self.now = deadline;
+                flush_thread_events();
                 return self.now;
             }
             self.step();
@@ -343,13 +464,15 @@ impl<M> Sim<M> {
             p.idle_ps += deadline.as_ps().saturating_sub(self.now.as_ps());
         }
         self.now = self.now.max(deadline);
+        flush_thread_events();
         self.now
     }
 
     /// Run while `pred` (called on the sim before each step) returns true
     /// and events remain.
-    pub fn run_while(&mut self, mut pred: impl FnMut(&Sim<M>) -> bool) -> SimTime {
+    pub fn run_while(&mut self, mut pred: impl FnMut(&Sim<M, A>) -> bool) -> SimTime {
         while pred(self) && self.step() {}
+        flush_thread_events();
         self.now
     }
 }
@@ -509,5 +632,61 @@ mod tests {
         sim.run();
         assert_eq!(sim.events_processed(), 5);
         assert_eq!(sim.pending(), 0);
+    }
+
+    /// A statically-dispatched rig: the slab holds a concrete enum, no
+    /// boxing anywhere.
+    #[test]
+    fn enum_actor_slab_dispatches_statically() {
+        enum Rig {
+            Counter(u32),
+            Forwarder { to: ActorId },
+        }
+        impl Actor<u32> for Rig {
+            fn on_event(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+                match self {
+                    Rig::Counter(n) => *n += ev,
+                    Rig::Forwarder { to } => ctx.send(*to, SimDuration::from_ns(1), ev),
+                }
+            }
+            fn name(&self) -> &str {
+                match self {
+                    Rig::Counter(_) => "counter",
+                    Rig::Forwarder { .. } => "forwarder",
+                }
+            }
+        }
+        let mut sim: Sim<u32, Rig> = Sim::new();
+        let counter = sim.add_actor(Rig::Counter(0));
+        let fwd = sim.add_actor(Rig::Forwarder { to: counter });
+        for i in 1..=4 {
+            sim.send(fwd, SimTime::ZERO, i);
+        }
+        sim.run();
+        match sim.actor(counter) {
+            Rig::Counter(n) => assert_eq!(*n, 10),
+            _ => panic!("wrong actor in slot"),
+        }
+        assert_eq!(sim.events_processed(), 8, "4 forwards + 4 deliveries");
+    }
+
+    #[test]
+    fn thread_and_global_counters_advance() {
+        let t0 = thread_events();
+        let g0 = global_events();
+        let mut sim: Sim<u32> = Sim::new();
+        struct Sink;
+        impl Actor<u32> for Sink {
+            fn on_event(&mut self, _ev: u32, _ctx: &mut Ctx<'_, u32>) {}
+        }
+        let a = sim.add_actor(Box::new(Sink));
+        for i in 0..10 {
+            sim.send(a, SimTime::from_ps(i), 0);
+        }
+        sim.run();
+        assert_eq!(thread_events() - t0, 10);
+        // global_events flushes this thread's batch, so the delta is
+        // exact even though 10 < GLOBAL_FLUSH_BATCH.
+        assert!(global_events() - g0 >= 10);
     }
 }

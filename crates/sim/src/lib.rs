@@ -6,8 +6,11 @@
 //! * integer **picosecond** time ([`SimTime`], [`SimDuration`]) — every
 //!   timing computation in the workspace is exact integer math, so a given
 //!   seed reproduces bit-identical event streams on every platform;
-//! * a generic actor **engine** ([`Sim`]) with a binary-heap calendar and
-//!   stable FIFO tie-breaking;
+//! * a generic actor **engine** ([`Sim`]) over a pooled **calendar
+//!   queue** ([`calendar::CalendarQueue`]) with stable FIFO tie-breaking,
+//!   arena-recycled event envelopes, and an [`engine::ActorSlab`] that
+//!   dispatches either boxed actors (the default) or a concrete enum
+//!   (static dispatch on the hot path);
 //! * exact **bandwidth** arithmetic ([`Bandwidth`]);
 //! * an in-tree **RNG** ([`rng::Xoshiro256ss`], [`rng::SplitMix64`]) so
 //!   deterministic streams do not depend on external crate versions;
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod bytes;
+pub mod calendar;
 pub mod check;
 pub mod engine;
 pub mod fault;

@@ -1,0 +1,189 @@
+//! Scheduler equivalence: the pooled calendar queue must dispatch in
+//! *exactly* the order of the binary heap it replaced — `(at, seq)`
+//! ascending, FIFO among equal times — on seeded random schedules that
+//! stress same-instant bursts, near-future chatter, and far-future
+//! sends that leap whole calendar years.
+//!
+//! The heap model here is the engine's previous implementation verbatim:
+//! a `BinaryHeap<Reverse<(at, seq, to, msg)>>`. Any divergence in pop
+//! order, peeked times, or lengths fails the property; the harness
+//! prints the per-case seed for exact replay.
+
+use apenet_sim::calendar::CalendarQueue;
+use apenet_sim::check;
+use apenet_sim::engine::{Actor, Ctx, Sim};
+use apenet_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// The previous scheduler, as a reference model.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+}
+
+impl HeapModel {
+    fn push(&mut self, at: u64, seq: u64, to: usize, msg: u64) {
+        self.heap.push(Reverse((at, seq, to, msg)));
+    }
+    fn peek_at(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, ..))| *at)
+    }
+    fn pop(&mut self) -> Option<(u64, usize, u64)> {
+        self.heap
+            .pop()
+            .map(|Reverse((at, _, to, msg))| (at, to, msg))
+    }
+}
+
+#[test]
+fn calendar_matches_heap_on_random_schedules() {
+    check::cases("calendar queue ≡ binary heap", 96, |g| {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut model = HeapModel::default();
+        let mut seq = 0u64;
+        let mut now = 0u64; // last popped time: pushes never go below it
+        let ops = g.usize(10, 300);
+        for _ in 0..ops {
+            match g.u32(0, 10) {
+                // Same-instant burst: FIFO order among equal times is
+                // the property golden digests depend on.
+                0..=2 => {
+                    let at = now + g.u64(0, 5_000);
+                    for _ in 0..g.usize(1, 24) {
+                        cal.push(SimTime::from_ps(at), seq, g.usize(0, 8), seq);
+                        model.push(at, seq, 0, seq);
+                        seq += 1;
+                    }
+                }
+                // Near-future chatter at link-latency-ish spacing.
+                3..=5 => {
+                    let at = now + g.u64(0, 200_000);
+                    cal.push(SimTime::from_ps(at), seq, g.usize(0, 8), seq);
+                    model.push(at, seq, 0, seq);
+                    seq += 1;
+                }
+                // Far-future send: thousands of calendar years ahead of
+                // the initial geometry (timeouts, keepalives).
+                6 => {
+                    let at = now + g.u64(1_000_000, 50_000_000_000_000);
+                    cal.push(SimTime::from_ps(at), seq, g.usize(0, 8), seq);
+                    model.push(at, seq, 0, seq);
+                    seq += 1;
+                }
+                // Pop a few, checking order; interleave peeks.
+                _ => {
+                    for _ in 0..g.usize(1, 8) {
+                        assert_eq!(
+                            cal.peek_at().map(|t| t.as_ps()),
+                            model.peek_at(),
+                            "peek diverged"
+                        );
+                        assert_eq!(cal.peek_at_ref().map(|t| t.as_ps()), model.peek_at());
+                        let got = cal.pop();
+                        let want = model.pop();
+                        match (got, want) {
+                            (None, None) => break,
+                            (Some(ev), Some((at, _, msg))) => {
+                                // msg == seq is unique, so equality here
+                                // proves the exact total order, ties
+                                // included.
+                                assert_eq!(ev.at.as_ps(), at, "pop time diverged");
+                                assert_eq!(ev.msg, msg, "pop order diverged");
+                                now = at;
+                            }
+                            (got, want) => {
+                                panic!(
+                                    "length diverged: calendar {got:?} vs heap {want:?}",
+                                    got = got.map(|e| (e.at.as_ps(), e.msg)),
+                                    want = want.map(|(at, _, msg)| (at, msg))
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(cal.len(), model.heap.len(), "pending count diverged");
+        }
+        // Drain to empty: the tail must agree too.
+        loop {
+            let got = cal.pop();
+            let want = model.pop();
+            match (got, want) {
+                (None, None) => break,
+                (Some(ev), Some((at, _, msg))) => {
+                    assert_eq!((ev.at.as_ps(), ev.msg), (at, msg), "drain diverged");
+                }
+                _ => panic!("drain length diverged"),
+            }
+        }
+    });
+}
+
+/// Engine-level two-pass digest: run the same seeded actor workload
+/// twice through a fresh `Sim` and fold every delivery (time, actor,
+/// message) into an FNV-1a digest. The passes must agree bit-for-bit —
+/// the engine has no hidden state that survives a run.
+#[test]
+fn two_pass_dispatch_digest_is_identical() {
+    fn digest_pass(case_seed: u64) -> u64 {
+        struct Scatter {
+            peers: Vec<usize>,
+            rng: apenet_sim::rng::SplitMix64,
+            log: Rc<RefCell<u64>>,
+        }
+        impl Actor<u64> for Scatter {
+            fn on_event(&mut self, ev: u64, ctx: &mut Ctx<'_, u64>) {
+                let h = self.log.borrow_mut();
+                let mut d = *h;
+                drop(h);
+                for &b in &[ctx.now().as_ps(), ctx.self_id() as u64, ev] {
+                    d = (d ^ b).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                *self.log.borrow_mut() = d;
+                if ev > 0 {
+                    // Deterministic fan-out: bursts at equal times plus
+                    // occasional far-future hops.
+                    let r = self.rng.next_u64();
+                    let to = self.peers[(r % self.peers.len() as u64) as usize];
+                    let delay = match r % 7 {
+                        0 => SimDuration::ZERO,
+                        1..=4 => SimDuration::from_ns(10 + (r >> 8) % 1_000),
+                        _ => SimDuration::from_us(1 + (r >> 8) % 10_000),
+                    };
+                    ctx.send(to, delay, ev - 1);
+                    if r.is_multiple_of(5) {
+                        ctx.send_self(SimDuration::ZERO, ev / 2);
+                    }
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(0xCBF2_9CE4_8422_2325u64));
+        let mut sim: Sim<u64> = Sim::new();
+        let n = 6;
+        for i in 0..n {
+            sim.add_actor(Box::new(Scatter {
+                peers: (0..n).filter(|&p| p != i).collect(),
+                rng: apenet_sim::rng::SplitMix64::new(case_seed ^ i as u64),
+                log: log.clone(),
+            }));
+        }
+        sim.send(0, SimTime::ZERO, 64);
+        sim.send(1, SimTime::ZERO, 64);
+        sim.run();
+        let events = sim.events_processed();
+        let d = *log.borrow();
+        (d ^ events).wrapping_mul(0x0000_0100_0000_01B3) ^ sim.now().as_ps()
+    }
+
+    check::cases("two-pass dispatch digest", 16, |g| {
+        let seed = g.u64(0, u64::MAX - 1);
+        assert_eq!(
+            digest_pass(seed),
+            digest_pass(seed),
+            "same seed must produce a bit-identical run"
+        );
+    });
+}
