@@ -1,0 +1,6 @@
+//! Regenerates the GET doorbell-batch saturation sweep (see
+//! `apenet_bench::figs::get_sweep`).
+
+fn main() {
+    apenet_bench::figs::get_sweep::run();
+}

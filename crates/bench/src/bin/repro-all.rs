@@ -29,6 +29,7 @@ fn jobs() -> Vec<(&'static str, fn())> {
         ("bar1_ablation", figs::bar1_ablation::run),
         ("bidir", figs::bidir::run),
         ("chaos_sweep", figs::chaos_sweep::run),
+        ("get_sweep", figs::get_sweep::run),
         ("latency_breakdown", figs::latency_breakdown::run),
         ("sim_profile", figs::sim_profile::run),
         ("congestion_heatmap", figs::congestion_heatmap::run),

@@ -15,6 +15,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod get_sweep;
 pub mod latency_breakdown;
 pub mod sim_profile;
 pub mod table1;

@@ -305,6 +305,20 @@ fn fabric_benches(h: &mut Harness) {
         )
         .bandwidth
     });
+    h.bench("get_gg_4k_x16_batch8", || {
+        use apenet_cluster::harness::{get_stream_bandwidth, GetStreamParams};
+        use apenet_rdma::signal::SignalConfig;
+        get_stream_bandwidth(
+            cluster_i_default(),
+            GetStreamParams {
+                size: 4096,
+                count: 16,
+                window: 8,
+                sig: SignalConfig::default(),
+            },
+        )
+        .bandwidth
+    });
 }
 
 /// Fragment a 4 MB message the fabric's way (refcounted slice views)

@@ -5,6 +5,10 @@
 //! anywhere in the TX/RX/link datapath shows up as a digest change.
 
 use apenet_bench::figs;
+use apenet_cluster::harness::{get_chaos_run, ChaosParams};
+use apenet_cluster::presets::cluster_i_default;
+use apenet_core::coord::TorusDims;
+use apenet_rdma::signal::SignalConfig;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -32,6 +36,13 @@ fn clean_links_reproduce_golden_outputs() {
     // (`APENET_SAMPLE`) and the sim-time profiler (`APENET_PROFILE`),
     // both enabled-then-discarded — the digests prove the whole
     // observability plane has zero scheduling effect.
+    // Each pass also drives a clean GET (RDMA-Read) stream under the
+    // same env knobs: the one-sided read path — request packets, remote
+    // serves, reply assembly, send-queue moderation — must be equally
+    // invisible to the observability plane. The full report (end time,
+    // deliveries, every counter) must come out byte-identical between
+    // the trace-only pass and the everything-on pass.
+    let mut get_reports: Vec<String> = Vec::new();
     for fault_plane in [false, true] {
         let tmp = std::env::temp_dir().join(format!(
             "apenet-golden-{}-{}",
@@ -49,6 +60,19 @@ fn clean_links_reproduce_golden_outputs() {
         figs::fig04::run();
         figs::fig06::run();
         figs::table1::run();
+        let get = get_chaos_run(
+            TorusDims::new(4, 2, 1),
+            cluster_i_default(),
+            ChaosParams {
+                msgs_per_rank: 3,
+                msg_len: 24 * 1024,
+                watchdog_reissue: true,
+            },
+            SignalConfig::default(),
+        );
+        assert_eq!(get.delivered, get.expected);
+        assert!(get.payload_ok && get.quiesced);
+        get_reports.push(format!("{get:?}"));
         std::env::remove_var("APENET_TRACE");
         std::env::remove_var("APENET_RESULTS");
         std::env::remove_var("APENET_ROUTE_AROUND_FAULTS");
@@ -66,4 +90,9 @@ fn clean_links_reproduce_golden_outputs() {
         }
         let _ = std::fs::remove_dir_all(&tmp);
     }
+    assert_eq!(
+        get_reports[0], get_reports[1],
+        "GET runs must be byte-identical with the whole observability \
+         plane (trace + sample + profile + fault routing) switched on"
+    );
 }

@@ -6,7 +6,7 @@
 use apenet_bench::count_for;
 use apenet_bench::figs::latency_breakdown;
 use apenet_cluster::harness::{
-    chaos_run, chaos_run_sampled, flush_read_bandwidth, pingpong_instrumented,
+    chaos_run, chaos_run_sampled, flush_read_bandwidth, get_chaos_run, pingpong_instrumented,
     pingpong_sampled_instrumented, two_node_bandwidth, two_node_instrumented, two_node_profiled,
     BufSide, ChaosParams, TwoNodeParams,
 };
@@ -218,10 +218,19 @@ fn sampled_pingpong_exports_valid_counter_tracks() {
 
 #[test]
 fn metrics_all_declares_every_published_id() {
-    let report = chaos_run(TorusDims::new(4, 2, 1), chaos_cfg(), chaos_params());
+    // A GET run under the same chaos-plus-cable-kill plan: one-sided
+    // reads light up the `get.*` protocol counters and the send-queue
+    // moderation ids on top of every family the PUT path publishes.
+    let report = get_chaos_run(
+        TorusDims::new(4, 2, 1),
+        chaos_cfg(),
+        chaos_params(),
+        apenet_rdma::signal::SignalConfig::default(),
+    );
     let declared: std::collections::BTreeSet<&str> = apenet_core::card::metrics::ALL
         .iter()
         .chain(apenet_rdma::driver::metrics::ALL.iter())
+        .chain(apenet_rdma::signal::metrics::ALL.iter())
         .copied()
         .collect();
     for id in report.metrics.0.keys() {
@@ -231,10 +240,26 @@ fn metrics_all_declares_every_published_id() {
              (add it so dashboards and the completeness check see it)"
         );
     }
-    // The run must actually have exercised both publishers: soft-chaos
-    // link counters from the cards, alarms from the watchdog.
+    // The run must actually have exercised every publisher: soft-chaos
+    // link counters from the cards, the GET protocol, and send-queue
+    // moderation. (The watchdog registers its ids even while silent.)
     assert!(report.metrics.get(apenet_core::card::metrics::RETRANSMITS) > 0);
     assert!(report.metrics.get(apenet_core::card::metrics::LINK_DEAD) > 0);
+    assert!(report.metrics.get(apenet_core::card::metrics::GET_REQUESTS) > 0);
+    assert!(report.metrics.get(apenet_core::card::metrics::GET_SERVED) > 0);
+    assert!(
+        report
+            .metrics
+            .get(apenet_rdma::signal::metrics::CQ_SIGNALED)
+            > 0
+    );
+    assert!(
+        report
+            .metrics
+            .get(apenet_rdma::signal::metrics::DOORBELL_BATCHED)
+            > 0,
+        "default batch=8 must cover some doorbells"
+    );
     assert!(
         report.metrics.0.keys().count() >= declared.len(),
         "every declared id is registered by attach/publish, even at zero"

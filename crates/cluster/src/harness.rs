@@ -20,6 +20,7 @@ use apenet_core::config::TxSinkMode;
 use apenet_core::coord::{Coord, TorusDims};
 use apenet_obs::{CounterSnapshot, Registry};
 use apenet_rdma::api::SrcHint;
+use apenet_rdma::signal::{self, SendQueue, SignalConfig};
 use apenet_rdma::staging::{staged_put, staged_recv_finish};
 use apenet_sim::profile::SimProfile;
 use apenet_sim::trace::{SharedSink, TraceRecord};
@@ -1091,22 +1092,43 @@ pub struct ChaosReport {
     pub last_delivery: SimTime,
     /// Simulated end time.
     pub end: SimTime,
+    /// Signaled WQEs posted across all send queues (0 on PUT runs).
+    pub cq_signaled: u64,
+    /// Posts whose doorbell was covered by a batched ring (0 on PUT runs).
+    pub doorbell_batched: u64,
+    /// WQEs posted into send-queue moderation (0 on PUT runs).
+    pub sq_posted: u64,
+    /// WQEs retired through batched CQEs (must equal `sq_posted` when
+    /// the run drains; 0 on PUT runs).
+    pub sq_retired: u64,
     /// The run's full counter snapshot from its private metrics registry
     /// (link-reliability ids from `apenet_core::card::metrics` plus the
-    /// watchdog ids from `apenet_rdma::driver::metrics`). The scalar
-    /// counter fields above are views into this snapshot.
+    /// watchdog ids from `apenet_rdma::driver::metrics` and the signaling
+    /// ids from `apenet_rdma::signal::metrics`). The scalar counter
+    /// fields above are views into this snapshot.
     pub metrics: CounterSnapshot,
+}
+
+/// A re-issuable chaos descriptor: the verb decides how the watchdog
+/// hands an expired message back to the card.
+#[derive(Debug, Clone)]
+enum ChaosDesc {
+    Put(apenet_core::card::TxDesc),
+    Get(apenet_core::card::GetDesc),
 }
 
 struct ChaosShared {
     watchdog: apenet_rdma::driver::Watchdog,
     delivered: std::collections::BTreeSet<apenet_core::packet::MsgId>,
-    descs: std::collections::BTreeMap<apenet_core::packet::MsgId, apenet_core::card::TxDesc>,
+    descs: std::collections::BTreeMap<apenet_core::packet::MsgId, ChaosDesc>,
     /// Expired messages routed back to their source rank for re-issue.
-    reissue: Vec<std::collections::VecDeque<apenet_core::card::TxDesc>>,
+    reissue: Vec<std::collections::VecDeque<ChaosDesc>>,
     /// Escalated messages routed back to their source rank, to complete
     /// with a typed error on that rank's completion queue.
     failed: Vec<std::collections::VecDeque<apenet_core::packet::MsgId>>,
+    /// Per-rank send-queue moderation models (GET runs only; empty on
+    /// PUT runs).
+    sendqs: Vec<SendQueue>,
 }
 
 struct ChaosRank {
@@ -1147,7 +1169,10 @@ impl ChaosRank {
             sh.failed[msg.src_rank as usize].push_back(msg);
         }
         while let Some(desc) = sh.reissue[self.rank as usize].pop_front() {
-            api.submit(SimDuration::ZERO, desc);
+            match desc {
+                ChaosDesc::Put(d) => api.submit(SimDuration::ZERO, d),
+                ChaosDesc::Get(d) => api.submit_get(SimDuration::ZERO, d),
+            }
         }
         while let Some(msg) = sh.failed[self.rank as usize].pop_front() {
             node.cq.push_error(
@@ -1196,7 +1221,8 @@ impl HostProgram for ChaosRank {
                 .unwrap();
             let mut sh = self.shared.borrow_mut();
             sh.watchdog.arm(out.desc.msg, api.now);
-            sh.descs.insert(out.desc.msg, out.desc.clone());
+            sh.descs
+                .insert(out.desc.msg, ChaosDesc::Put(out.desc.clone()));
             drop(sh);
             api.submit(out.host_cost, out.desc);
         }
@@ -1218,6 +1244,128 @@ impl HostProgram for ChaosRank {
     }
 }
 
+/// The GET-verb chaos rank: every rank *reads* its ring successor's TX
+/// region into its own RX buffer with one-sided GETs, posting each GET
+/// through send-queue moderation (selective signaling + doorbell
+/// batching). The requester is the completion side, so the watchdog,
+/// re-issue and Unreachable escalation all run here — composed with
+/// whatever the fault plan does to the request and reply streams.
+struct GetChaosRank {
+    rank: u32,
+    msgs: u32,
+    msg_len: u64,
+    reissue: bool,
+    poll: SimDuration,
+    peer: Coord,
+    tx_buf: u64,
+    rx_buf: u64,
+    shared: Rc<RefCell<ChaosShared>>,
+}
+
+impl GetChaosRank {
+    fn reap_if_due(sh: &mut ChaosShared, rank: usize) {
+        let sq = &mut sh.sendqs[rank];
+        // Reap at the latest when the CQ is half full, so moderation
+        // keeps retiring in batches without ever overflowing the depth.
+        if sq.cq_occupancy() * 2 >= sq.cq_depth().max(1) {
+            let _ = sq.reap();
+        }
+    }
+
+    fn pump(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let mut sh = self.shared.borrow_mut();
+        let ex = sh.watchdog.poll_expired(api.now);
+        for msg in ex.reissue {
+            let desc = sh.descs[&msg].clone();
+            sh.reissue[msg.src_rank as usize].push_back(desc);
+        }
+        for msg in ex.failed {
+            sh.failed[msg.src_rank as usize].push_back(msg);
+        }
+        while let Some(desc) = sh.reissue[self.rank as usize].pop_front() {
+            match desc {
+                ChaosDesc::Put(d) => api.submit(SimDuration::ZERO, d),
+                ChaosDesc::Get(d) => api.submit_get(SimDuration::ZERO, d),
+            }
+        }
+        while let Some(msg) = sh.failed[self.rank as usize].pop_front() {
+            node.cq.push_error(
+                msg,
+                api.now,
+                apenet_rdma::completion::CompletionError::Unreachable,
+            );
+            // An escalated GET still terminates its WQE: the error
+            // completion retires it so the batch behind it can drain.
+            sh.sendqs[self.rank as usize].complete(&msg);
+            Self::reap_if_due(&mut sh, self.rank as usize);
+        }
+        if sh.watchdog.outstanding() > 0
+            || sh.reissue.iter().any(|q| !q.is_empty())
+            || sh.failed.iter().any(|q| !q.is_empty())
+        {
+            api.wake(self.poll, 0);
+        }
+    }
+}
+
+impl HostProgram for GetChaosRank {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let region = (self.msgs as u64 * self.msg_len).max(1);
+        // Identical allocation order on every rank: this rank's TX
+        // address equals its peer's, so requesters can name remote
+        // source memory without an out-of-band exchange.
+        self.rx_buf = node.cuda[0].borrow_mut().malloc(region).unwrap();
+        self.tx_buf = node.cuda[0].borrow_mut().malloc(region).unwrap();
+        node.ep.register(self.rx_buf, region).unwrap();
+        node.ep.register(self.tx_buf, region).unwrap();
+        let data: Vec<u8> = (0..region).map(|o| chaos_byte(self.rank, o)).collect();
+        node.cuda[0]
+            .borrow_mut()
+            .mem
+            .write(self.tx_buf, &data)
+            .unwrap();
+        for i in 0..self.msgs {
+            let off = i as u64 * self.msg_len;
+            let out = node
+                .ep
+                .get(
+                    self.rx_buf + off,
+                    self.msg_len,
+                    self.peer,
+                    self.tx_buf + off,
+                    SrcHint::Gpu,
+                )
+                .unwrap();
+            let msg = out.desc.msg;
+            let mut sh = self.shared.borrow_mut();
+            sh.watchdog.arm(msg, api.now);
+            sh.descs.insert(msg, ChaosDesc::Get(out.desc.clone()));
+            // The last post of the burst is force-signaled so the tail
+            // of unsignaled WQEs always retires.
+            sh.sendqs[self.rank as usize].post(msg, i + 1 == self.msgs);
+            drop(sh);
+            api.submit_get(out.host_cost, out.desc);
+        }
+        if self.reissue {
+            api.wake(self.poll, 0);
+        }
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        match ev {
+            HostIn::Delivered { msg, .. } => {
+                let mut sh = self.shared.borrow_mut();
+                sh.delivered.insert(msg);
+                sh.watchdog.disarm(&msg);
+                sh.sendqs[self.rank as usize].complete(&msg);
+                Self::reap_if_due(&mut sh, self.rank as usize);
+            }
+            HostIn::Wake(_) if self.reissue => self.pump(node, api),
+            _ => {}
+        }
+    }
+}
+
 /// Run a seeded chaos workload: every rank of `dims` streams
 /// `msgs_per_rank` GPU-to-GPU PUTs to its ring successor while the fault
 /// plan in `node_cfg.faults` corrupts, drops and stalls link frames. The
@@ -1225,7 +1373,22 @@ impl HostProgram for ChaosRank {
 /// deliveries, duplicate completions, byte-exactness of every destination
 /// region, card quiescence and the fault/recovery counter totals.
 pub fn chaos_run(dims: TorusDims, node_cfg: NodeConfig, p: ChaosParams) -> ChaosReport {
-    chaos_run_impl(dims, node_cfg, p, None)
+    chaos_run_impl(dims, node_cfg, p, None, None)
+}
+
+/// [`chaos_run`] with the GET verb: every rank *reads* its ring
+/// successor's TX region with one-sided GETs posted through send-queue
+/// moderation tuned by `sig`. Exactly-once, byte-exactness, quiescence
+/// and watchdog composition are proven the same way; the report
+/// additionally carries the signaling counters and the send-queue
+/// retirement totals (`sq_retired` must equal `sq_posted`).
+pub fn get_chaos_run(
+    dims: TorusDims,
+    node_cfg: NodeConfig,
+    p: ChaosParams,
+    sig: SignalConfig,
+) -> ChaosReport {
+    chaos_run_impl(dims, node_cfg, p, None, Some(sig))
 }
 
 /// [`chaos_run`] with an explicit [`OccupancySampler`] ticking through
@@ -1239,7 +1402,7 @@ pub fn chaos_run_sampled(
     p: ChaosParams,
     sampler: &mut OccupancySampler,
 ) -> ChaosReport {
-    chaos_run_impl(dims, node_cfg, p, Some(sampler))
+    chaos_run_impl(dims, node_cfg, p, Some(sampler), None)
 }
 
 fn chaos_run_impl(
@@ -1247,37 +1410,67 @@ fn chaos_run_impl(
     node_cfg: NodeConfig,
     p: ChaosParams,
     sampler: Option<&mut OccupancySampler>,
+    get_verb: Option<SignalConfig>,
 ) -> ChaosReport {
     let n = dims.nodes();
     assert!(n >= 2, "the ring workload needs at least two nodes");
     // Every counter the report quotes flows through this per-run
-    // registry: the watchdog mirrors its alarms in, and each card
-    // publishes its link-reliability totals after the run.
+    // registry: the watchdog mirrors its alarms in, each card publishes
+    // its link-reliability totals after the run, and the send queues
+    // mirror their signaling activity. The signaling ids are pre-created
+    // at zero so PUT runs publish the full id set too.
     let reg = Registry::new();
+    signal::register_metrics(&reg);
     let wd_cfg = node_cfg.driver.watchdog.clone();
     let poll = SimDuration::from_ps((wd_cfg.timeout.as_ps() / 4).max(1));
     let mut watchdog = apenet_rdma::driver::Watchdog::new(wd_cfg);
     watchdog.attach_metrics(&reg);
+    let is_get = get_verb.is_some();
+    let sendqs: Vec<SendQueue> = match &get_verb {
+        Some(sig) => (0..n)
+            .map(|_| {
+                let mut sq = SendQueue::new(sig.clone());
+                sq.attach_metrics(&reg);
+                sq
+            })
+            .collect(),
+        None => Vec::new(),
+    };
     let shared = Rc::new(RefCell::new(ChaosShared {
         watchdog,
         delivered: Default::default(),
         descs: Default::default(),
         reissue: (0..n).map(|_| Default::default()).collect(),
         failed: (0..n).map(|_| Default::default()).collect(),
+        sendqs,
     }));
     let programs: Vec<Box<dyn HostProgram>> = (0..n)
         .map(|r| {
-            Box::new(ChaosRank {
-                rank: r as u32,
-                msgs: p.msgs_per_rank,
-                msg_len: p.msg_len,
-                reissue: p.watchdog_reissue,
-                poll,
-                peer: dims.coord_of((r + 1) % n),
-                tx_buf: 0,
-                rx_buf: 0,
-                shared: shared.clone(),
-            }) as Box<dyn HostProgram>
+            if is_get {
+                Box::new(GetChaosRank {
+                    rank: r as u32,
+                    msgs: p.msgs_per_rank,
+                    msg_len: p.msg_len,
+                    reissue: p.watchdog_reissue,
+                    poll,
+                    peer: dims.coord_of((r + 1) % n),
+                    tx_buf: 0,
+                    rx_buf: 0,
+                    shared: shared.clone(),
+                }) as Box<dyn HostProgram>
+            } else {
+                Box::new(ChaosRank {
+                    rank: r as u32,
+                    msgs: p.msgs_per_rank,
+                    msg_len: p.msg_len,
+                    reissue: p.watchdog_reissue,
+                    poll,
+                    peer: dims.coord_of((r + 1) % n),
+                    tx_buf: 0,
+                    rx_buf: 0,
+                    shared: shared.clone(),
+                }) as Box<dyn HostProgram>
+            }
         })
         .collect();
     let mut cluster = ClusterBuilder::new(dims, node_cfg).build(programs);
@@ -1286,27 +1479,54 @@ fn chaos_run_impl(
         None => cluster.run_auto(),
     };
 
+    // Drain the send queues' final CQEs and collect retirement totals
+    // before taking the long immutable borrow below.
+    let (sq_posted, sq_retired) = {
+        let mut sh = shared.borrow_mut();
+        let mut posted = 0;
+        let mut retired = 0;
+        for sq in sh.sendqs.iter_mut() {
+            let _ = sq.reap();
+            posted += sq.posted;
+            retired += sq.retired;
+        }
+        (posted, retired)
+    };
+
     // Verify every destination region byte-exactly: rank d's RX buffer
-    // must hold its predecessor's TX stream.
+    // must hold its predecessor's TX stream (PUT: the predecessor wrote
+    // it here; GET: rank d read its successor's stream into it).
     let region = p.msgs_per_rank as u64 * p.msg_len;
     let mut payload_ok = true;
     let sh = shared.borrow();
     if region > 0 {
         for d in 0..n {
-            let src = ((d + n) - 1) % n;
+            // PUT: rank d receives from its ring predecessor. GET: rank
+            // d pulled from its ring successor.
+            let src = if is_get {
+                (d + 1) % n
+            } else {
+                ((d + n) - 1) % n
+            };
             let host = cluster.host(d);
             let rx_buf = {
-                // Same deterministic allocation order as ChaosRank::start.
+                // Same deterministic allocation order as the rank
+                // programs' start(): the RX region is the first GPU
+                // allocation.
                 let gpu_base = host.node.cuda[0].borrow().mem.base();
                 gpu_base
             };
             // Only fully-delivered slots are checked: with recovery
             // disabled, lost messages leave their slots unwritten.
             for i in 0..p.msgs_per_rank {
-                let msg_delivered = sh.descs.iter().any(|(m, desc)| {
-                    m.src_rank == src as u32
-                        && desc.dst_vaddr == rx_buf + i as u64 * p.msg_len
-                        && sh.delivered.contains(m)
+                let slot = rx_buf + i as u64 * p.msg_len;
+                let msg_delivered = sh.descs.iter().any(|(m, desc)| match desc {
+                    ChaosDesc::Put(t) => {
+                        m.src_rank == src as u32 && t.dst_vaddr == slot && sh.delivered.contains(m)
+                    }
+                    ChaosDesc::Get(g) => {
+                        m.src_rank == d as u32 && g.local_vaddr == slot && sh.delivered.contains(m)
+                    }
                 });
                 if !msg_delivered {
                     continue;
@@ -1344,6 +1564,7 @@ fn chaos_run_impl(
     let metrics = reg.counters();
     use apenet_core::card::metrics as lm;
     use apenet_rdma::driver::metrics as wm;
+    use apenet_rdma::signal::metrics as sm;
     ChaosReport {
         expected: n as u64 * p.msgs_per_rank as u64,
         delivered: sh.delivered.len() as u64,
@@ -1372,6 +1593,151 @@ fn chaos_run_impl(
         stall_ps: metrics.get(lm::STALL_PS),
         last_delivery,
         end,
+        cq_signaled: metrics.get(sm::CQ_SIGNALED),
+        doorbell_batched: metrics.get(sm::DOORBELL_BATCHED),
+        sq_posted,
+        sq_retired,
         metrics,
     }
+}
+
+// ---------------------------------------------------------------------------
+// GET stream harness: the batch-size-vs-throughput sweep workload.
+// ---------------------------------------------------------------------------
+
+/// Parameters of a two-node GET stream (the `get_sweep` workload).
+#[derive(Debug, Clone)]
+pub struct GetStreamParams {
+    /// Bytes per GET.
+    pub size: u64,
+    /// Number of GETs.
+    pub count: u32,
+    /// GETs kept outstanding.
+    pub window: u32,
+    /// Send-queue moderation tuning (`doorbell_batch` is the swept knob).
+    pub sig: SignalConfig,
+}
+
+/// The GET requester: keeps `window` reads outstanding against the
+/// responder's source buffer, charging the *moderated* host cost per
+/// post — every post builds a descriptor, only batch-closing posts ring
+/// the doorbell. This is the sweep's measurement loop: with doorbell
+/// batching off (batch = 1) the per-post host cost caps small-message
+/// throughput; with it on, the wire saturates at large batches.
+struct GetStreamRequester {
+    peer: Coord,
+    peer_vaddr: u64,
+    size: u64,
+    count: u32,
+    window: u32,
+    issued: u32,
+    rx_buf: u64,
+    /// When the host core finishes its current post (posts serialize on
+    /// the issuing CPU — this is the LogP *o* bound the doorbell batch
+    /// amortises).
+    host_free: SimTime,
+    sendq: SendQueue,
+    drv: apenet_rdma::driver::DriverConfig,
+    records: Shared,
+}
+
+impl GetStreamRequester {
+    fn issue_one(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        let out = node
+            .ep
+            .get(
+                self.rx_buf,
+                self.size,
+                self.peer,
+                self.peer_vaddr,
+                SrcHint::Gpu,
+            )
+            .expect("get");
+        let force = self.issued + 1 == self.count;
+        let info = self.sendq.post(out.desc.msg, force);
+        // The issuing core serializes descriptor builds and doorbells:
+        // each post occupies it for its host cost after the previous
+        // post retires, regardless of how the card pipeline is doing.
+        let end = self.host_free.max(api.now) + info.host_cost(&self.drv);
+        self.host_free = end;
+        self.records.borrow_mut().submits.push(end);
+        api.submit_get(end.since(api.now), out.desc);
+        self.issued += 1;
+        if force && self.sendq.flush_doorbell() {
+            // Tail flush: the last burst may not land on a batch
+            // boundary; the ring is charged but gates nothing.
+        }
+    }
+}
+
+impl HostProgram for GetStreamRequester {
+    fn start(&mut self, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        self.rx_buf = alloc_buf(node, BufSide::Gpu, self.size);
+        node.ep
+            .register(self.rx_buf, self.size)
+            .expect("register rx");
+        let burst = self.window.min(self.count);
+        for _ in 0..burst {
+            self.issue_one(node, api);
+        }
+    }
+
+    fn on_event(&mut self, ev: HostIn, node: &mut NodeCtx, api: &mut HostApi<'_, '_>) {
+        if let HostIn::Delivered { msg, len, .. } = ev {
+            self.sendq.complete(&msg);
+            if self.sendq.cq_occupancy() * 2 >= self.sendq.cq_depth().max(1) {
+                let _ = self.sendq.reap();
+            }
+            self.records.borrow_mut().completions.push((api.now, len));
+            if self.issued < self.count {
+                self.issue_one(node, api);
+            }
+        }
+    }
+}
+
+/// The GET responder: owns the source buffer the requester reads. All
+/// serving happens on the card (BUF_LIST walk + reply stream), so the
+/// host just registers and idles — the one-sided half of the verb.
+struct GetStreamResponder {
+    size: u64,
+}
+
+impl HostProgram for GetStreamResponder {
+    fn start(&mut self, node: &mut NodeCtx, _api: &mut HostApi<'_, '_>) {
+        let src = alloc_buf(node, BufSide::Gpu, self.size);
+        fill_buf(node, BufSide::Gpu, src, self.size, 0x6E);
+        node.ep.register(src, self.size).expect("register src");
+    }
+
+    fn on_event(&mut self, _ev: HostIn, _node: &mut NodeCtx, _api: &mut HostApi<'_, '_>) {}
+}
+
+/// Two-node GET stream bandwidth: rank 0 reads rank 1's GPU buffer with
+/// `count` pipelined GETs through send-queue moderation.
+pub fn get_stream_bandwidth(node_cfg: NodeConfig, p: GetStreamParams) -> BwResult {
+    let dims = TorusDims::new(2, 1, 1);
+    let records: Shared = Rc::new(RefCell::new(BenchRecords::default()));
+    // Both ranks' first GPU allocation lands at the same address, so the
+    // requester can name the responder's buffer without an exchange.
+    let peer_vaddr = first_alloc_addr(&node_cfg, BufSide::Gpu, p.size, false);
+    let drv = node_cfg.driver.clone();
+    let requester = Box::new(GetStreamRequester {
+        peer: dims.coord_of(1),
+        peer_vaddr,
+        size: p.size,
+        count: p.count,
+        window: p.window,
+        issued: 0,
+        rx_buf: 0,
+        host_free: SimTime::ZERO,
+        sendq: SendQueue::new(p.sig.clone()),
+        drv,
+        records: records.clone(),
+    });
+    let responder = Box::new(GetStreamResponder { size: p.size });
+    let mut cluster = ClusterBuilder::new(dims, node_cfg).build(vec![requester, responder]);
+    cluster.run_auto();
+    let r = records.borrow();
+    measure(&r, p.size)
 }

@@ -1,7 +1,7 @@
 //! The cluster event type and the actors that adapt cards and hosts to
 //! the simulation engine.
 
-use apenet_core::card::{Card, CardError, CardIn, CardOut, TxDesc};
+use apenet_core::card::{Card, CardError, CardIn, CardOut, GetDesc, TxDesc};
 use apenet_core::coord::{Coord, TorusDims};
 use apenet_core::packet::MsgId;
 use apenet_core::torus::Port;
@@ -33,6 +33,8 @@ pub fn kind_of(m: &Msg) -> &'static str {
     match m {
         Msg::Card(c) => match c {
             CardIn::TxSubmit(_) => "tx-submit",
+            CardIn::GetSubmit(_) => "get-submit",
+            CardIn::GetServe { .. } => "get-serve",
             CardIn::LinkRx { msg, .. } => match msg {
                 LinkMsg::Data(_) => "link-data",
                 LinkMsg::Ack { .. } => "link-ack",
@@ -203,6 +205,15 @@ impl HostApi<'_, '_> {
     pub fn submit(&mut self, delay: SimDuration, desc: TxDesc) {
         self.ctx
             .send(self.card, delay, Msg::Card(CardIn::TxSubmit(desc)));
+    }
+
+    /// Submit a GET (RDMA-Read) descriptor to the local card after
+    /// `delay` (the host cost of the `get()` that produced it). The
+    /// completion arrives as a normal `Delivered` for the same message
+    /// id once the remote reply stream finishes assembling.
+    pub fn submit_get(&mut self, delay: SimDuration, desc: GetDesc) {
+        self.ctx
+            .send(self.card, delay, Msg::Card(CardIn::GetSubmit(desc)));
     }
 
     /// Schedule a wake-up for this host program.

@@ -166,11 +166,43 @@ pub struct TxDesc {
     pub src_kind: BufKind,
 }
 
+/// A GET (RDMA-Read) request descriptor pushed by the host driver: ask
+/// the card at `peer` to stream `len` bytes starting at its local
+/// `peer_vaddr` back into this node's buffer at `local_vaddr`. The
+/// requester's RX side completes the message exactly like an inbound
+/// PUT, so the watchdog, dedup and fault planes all compose unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetDesc {
+    /// Message id (requester-assigned; the reply stream carries it).
+    pub msg: MsgId,
+    /// The node whose memory is read.
+    pub peer: Coord,
+    /// Responder-local UVA address of the range to read.
+    pub peer_vaddr: u64,
+    /// Bytes to read.
+    pub len: u64,
+    /// Requester-local UVA address the reply lands at.
+    pub local_vaddr: u64,
+}
+
+/// Sentinel TX-job id for GET request headers: they ride the TX FIFO
+/// and the link layer like staged packets but belong to no fetch job —
+/// the requester's completion is the *reply* delivery, not a TxDone.
+const GET_REQ_JOB: u32 = u32::MAX;
+
 /// Events consumed by the card.
 #[derive(Debug, Clone)]
 pub enum CardIn {
     /// The host driver posts a transmission.
     TxSubmit(TxDesc),
+    /// The host driver posts a one-sided GET (remote read).
+    GetSubmit(GetDesc),
+    /// A verified GET request finished its responder-side Nios decode +
+    /// BUF_LIST lookup; start the reply TX job streaming the range back.
+    GetServe {
+        /// The reply transmission (destination = the requester).
+        desc: TxDesc,
+    },
     /// A link-layer frame (data or ACK/NAK credit) arrives on `port` —
     /// a torus ingress direction or the internal loop-back path.
     LinkRx {
@@ -367,9 +399,19 @@ pub mod metrics {
     pub const RX_DUP_FRAGMENTS: &str = "rx.dup_fragments";
     /// Completions held back by RX event-ring backpressure.
     pub const RX_RING_STALL: &str = "rx.ring_stall";
+    /// GET requests injected by the local host (requester side).
+    pub const GET_REQUESTS: &str = "get.requests";
+    /// GET requests served (reply TX job started) by this card.
+    pub const GET_SERVED: &str = "get.served";
+    /// GET requests dropped because no registered buffer covered the
+    /// requested range (the requester's watchdog recovers or escalates).
+    pub const GET_UNMATCHED: &str = "get.unmatched";
+    /// Duplicate GET requests suppressed while the first reply job was
+    /// still streaming (a watchdog reissue racing a slow reply).
+    pub const GET_DUP_REQUESTS: &str = "get.dup_requests";
 
     /// Every link-reliability id, in reporting order.
-    pub const ALL: [&str; 15] = [
+    pub const ALL: [&str; 19] = [
         RETRANSMITS,
         TIMEOUTS,
         NAKS_SENT,
@@ -385,6 +427,10 @@ pub mod metrics {
         ROUTE_REQUEUED,
         RX_DUP_FRAGMENTS,
         RX_RING_STALL,
+        GET_REQUESTS,
+        GET_SERVED,
+        GET_UNMATCHED,
+        GET_DUP_REQUESTS,
     ];
 }
 
@@ -421,6 +467,16 @@ pub struct CardStats {
     pub rx_dup_fragments: u64,
     /// Completions held back because the RX event ring was full.
     pub rx_ring_stalls: u64,
+    /// GET requests injected by the local host (requester side).
+    pub get_requests: u64,
+    /// GET requests served (reply TX job started) by this card.
+    pub get_served: u64,
+    /// GET requests dropped because no registered buffer covered the
+    /// requested range.
+    pub get_unmatched: u64,
+    /// Duplicate GET requests suppressed while the first reply job was
+    /// still streaming.
+    pub get_dup_requests: u64,
     /// Per-port link-layer counters (six torus directions + loop-back).
     pub links: [LinkStats; NUM_PORTS],
 }
@@ -490,6 +546,11 @@ struct TxJob {
     desc: TxDesc,
     plan: FetchPlan,
     pushed: u64,
+    /// This job streams a GET reply: its completion is silent (the
+    /// responder host never posted it — the *requester's* RX delivery is
+    /// the completion), and it suppresses duplicate serves of the same
+    /// request while streaming.
+    get_reply: bool,
 }
 
 /// Reassembly state of one partially received message.
@@ -676,6 +737,10 @@ impl Card {
         reg.add(metrics::ROUTE_REQUEUED, self.stats.requeued);
         reg.add(metrics::RX_DUP_FRAGMENTS, self.stats.rx_dup_fragments);
         reg.add(metrics::RX_RING_STALL, self.stats.rx_ring_stalls);
+        reg.add(metrics::GET_REQUESTS, self.stats.get_requests);
+        reg.add(metrics::GET_SERVED, self.stats.get_served);
+        reg.add(metrics::GET_UNMATCHED, self.stats.get_unmatched);
+        reg.add(metrics::GET_DUP_REQUESTS, self.stats.get_dup_requests);
     }
 
     /// Wire the outgoing torus link for `dir`.
@@ -1492,6 +1557,7 @@ impl Card {
                     let done = job.plan.done() && job.pushed == job.desc.len;
                     let msg = job.desc.msg;
                     let msg_len = job.desc.len;
+                    let get_reply = job.get_reply;
                     if done {
                         self.tx_jobs.remove(&job_id);
                         if self.trace.enabled() {
@@ -1503,7 +1569,9 @@ impl Card {
                                 TracePayload::Msg { len: msg_len },
                             );
                         }
-                        out.push(SimDuration::ZERO, CardOut::TxComplete { msg });
+                        if !get_reply {
+                            out.push(SimDuration::ZERO, CardOut::TxComplete { msg });
+                        }
                         if self.gpu_job_active == Some(job_id) {
                             // Release the GPU_P2P_TX engine for the next
                             // queued message.
@@ -1525,6 +1593,13 @@ impl Card {
     /// so the packet is clean here.
     fn rx_local(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
         self.stats.rx_packets += 1;
+        // A GET request header: not a write — `dst_vaddr` names the range
+        // to *read*. It has its own duplicate suppression (by in-flight
+        // reply job), so it bypasses the write-side dedup below.
+        if packet.is_get_request() {
+            self.serve_get(packet, now, out);
+            return;
+        }
         // End-to-end duplicate suppression: a frame that crossed the cable
         // just before it died (its ACK lost with the cable) is requeued by
         // the sender onto the detour route and arrives a second time. The
@@ -1819,6 +1894,119 @@ impl Card {
         }
     }
 
+    /// Open a TX job for `desc` and start fetching. The common body of a
+    /// host-posted `TxSubmit` and a responder-side GET reply
+    /// (`get_reply = true`, which completes silently — see [`TxJob`]).
+    fn submit_tx(
+        &mut self,
+        desc: TxDesc,
+        get_reply: bool,
+        now: SimTime,
+        out: &mut Outbox<CardOut>,
+    ) {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        let gpu_src = matches!(desc.src_kind, BufKind::Gpu(_));
+        let (version, window) = if gpu_src {
+            (self.cfg.gpu_tx, self.cfg.prefetch_window)
+        } else {
+            // Host sources always pipeline: the kernel driver keeps
+            // the injection queue full (§III.B).
+            (GpuTxVersion::V3, self.cfg.tx_fifo_bytes)
+        };
+        let plan = FetchPlan::new(version, window, desc.len);
+        let len = desc.len;
+        if !get_reply && self.trace.enabled() {
+            self.trace.record(
+                now,
+                "card",
+                tk::POST,
+                Some(desc.msg.span()),
+                TracePayload::Msg { len },
+            );
+        }
+        self.tx_jobs.insert(
+            job_id,
+            TxJob {
+                desc,
+                plan,
+                pushed: 0,
+                get_reply,
+            },
+        );
+        if gpu_src {
+            // GPU jobs serialize through the GPU_P2P_TX engine.
+            self.gpu_job_queue.push_back(job_id);
+            if self.gpu_job_active.is_none() {
+                self.activate_next_gpu_job(now, out);
+            }
+        } else if len == 0 {
+            // Header-only message: stage one empty packet.
+            out.push(
+                SimDuration::ZERO,
+                CardOut::ToSelf(CardIn::FetchArrived {
+                    job: job_id,
+                    offset: 0,
+                    len: 0,
+                }),
+            );
+        } else {
+            self.issue_fetches(job_id, now, out);
+        }
+    }
+
+    /// Responder side of the one-sided GET protocol: a link-verified read
+    /// request addressed to this node. Look the requested range up in the
+    /// BUF_LIST (no registered buffer means a counted drop — the
+    /// requester's watchdog retries or escalates), then start a reply TX
+    /// job streaming the range back to the requester. The reply rides the
+    /// ordinary fetch/FIFO/link machinery, so V2P-walk costs, go-back-N
+    /// retransmission, dead-link detours and requester-side fragment
+    /// dedup all compose unchanged.
+    fn serve_get(&mut self, packet: ApePacket, now: SimTime, out: &mut Outbox<CardOut>) {
+        let reply_vaddr = packet
+            .get
+            .expect("caller checked is_get_request")
+            .reply_vaddr;
+        // A watchdog-reissued request racing a still-streaming reply
+        // would double-serve; the requester's dedup makes that harmless,
+        // but suppressing it here keeps the wire quiet and counted.
+        if self
+            .tx_jobs
+            .values()
+            .any(|j| j.get_reply && j.desc.msg == packet.msg)
+        {
+            self.stats.get_dup_requests += 1;
+            return;
+        }
+        let fw = self.shared.firmware.borrow();
+        let (entry, bl_cost) = fw.buf_list.lookup(packet.dst_vaddr, packet.msg_len);
+        let Some(entry) = entry else {
+            drop(fw);
+            self.stats.get_unmatched += 1;
+            return;
+        };
+        let src_kind = entry.kind;
+        drop(fw);
+        self.stats.get_served += 1;
+        // Request decode + BUF_LIST traversal on the Nios; the reply job
+        // opens once that task retires and pays its own per-fragment
+        // V2P/engine costs from there.
+        let (_s, nios_done) = self.nios.run(now, self.cfg.rx_packet_base + bl_cost);
+        let desc = TxDesc {
+            msg: packet.msg,
+            dst: packet.src,
+            dst_vaddr: reply_vaddr,
+            len: packet.msg_len,
+            src_addr: packet.dst_vaddr,
+            src_kind,
+        };
+        out.push(
+            nios_done.since(now),
+            CardOut::ToSelf(CardIn::GetServe { desc }),
+        );
+    }
+
     /// The host reaped `n` RX event-ring entries; release held-back
     /// completions into the freed slots, oldest first.
     fn rx_ring_pop(&mut self, n: u32, now: SimTime, out: &mut Outbox<CardOut>) {
@@ -1851,54 +2039,41 @@ impl Device for Card {
     fn handle(&mut self, now: SimTime, ev: CardIn, out: &mut Outbox<CardOut>) {
         match ev {
             CardIn::TxSubmit(desc) => {
-                let job_id = self.next_job;
-                self.next_job += 1;
-                let gpu_src = matches!(desc.src_kind, BufKind::Gpu(_));
-                let (version, window) = if gpu_src {
-                    (self.cfg.gpu_tx, self.cfg.prefetch_window)
-                } else {
-                    // Host sources always pipeline: the kernel driver keeps
-                    // the injection queue full (§III.B).
-                    (GpuTxVersion::V3, self.cfg.tx_fifo_bytes)
-                };
-                let plan = FetchPlan::new(version, window, desc.len);
-                let len = desc.len;
+                self.submit_tx(desc, false, now, out);
+            }
+            CardIn::GetSubmit(desc) => {
+                self.stats.get_requests += 1;
                 if self.trace.enabled() {
                     self.trace.record(
                         now,
                         "card",
                         tk::POST,
                         Some(desc.msg.span()),
-                        TracePayload::Msg { len },
+                        TracePayload::Msg { len: desc.len },
                     );
                 }
-                self.tx_jobs.insert(
-                    job_id,
-                    TxJob {
-                        desc,
-                        plan,
-                        pushed: 0,
-                    },
+                let packet = ApePacket::get_request(
+                    desc.peer,
+                    self.coord,
+                    desc.msg,
+                    desc.peer_vaddr,
+                    desc.len,
+                    desc.local_vaddr,
                 );
-                if gpu_src {
-                    // GPU jobs serialize through the GPU_P2P_TX engine.
-                    self.gpu_job_queue.push_back(job_id);
-                    if self.gpu_job_active.is_none() {
-                        self.activate_next_gpu_job(now, out);
-                    }
-                } else if len == 0 {
-                    // Header-only message: stage one empty packet.
-                    out.push(
-                        SimDuration::ZERO,
-                        CardOut::ToSelf(CardIn::FetchArrived {
-                            job: job_id,
-                            offset: 0,
-                            len: 0,
-                        }),
-                    );
-                } else {
-                    self.issue_fetches(job_id, now, out);
-                }
+                // Descriptor decode + request-header build on the Nios,
+                // then the header enters the TX FIFO like a staged packet
+                // and rides the ordinary drain/link/retransmit path.
+                let (_s, ready) = self.nios.run(now, self.cfg.get_req_nios);
+                out.push(
+                    ready.since(now),
+                    CardOut::ToSelf(CardIn::PushReady {
+                        job: GET_REQ_JOB,
+                        packet,
+                    }),
+                );
+            }
+            CardIn::GetServe { desc } => {
+                self.submit_tx(desc, true, now, out);
             }
             CardIn::FetchArrived { job, offset, len } => {
                 if len > 0 {

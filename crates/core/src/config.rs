@@ -94,6 +94,9 @@ pub struct CardConfig {
     /// Completion-notification cost on the receive side (writing the RX
     /// event queue entry the host polls).
     pub rx_notify: SimDuration,
+    /// Nios cost of decoding a GET descriptor and building the remote
+    /// read-request header on the requester card.
+    pub get_req_nios: SimDuration,
     /// Fault injection: flip one payload bit (random position and mask,
     /// drawn from the card's seeded fault RNG) in every Nth data frame put
     /// on a link port — loop-back included (None = healthy links). The
@@ -174,6 +177,7 @@ impl CardConfig {
             tx_gpu_setup_v3: SimDuration::from_ns(350),
             tx_gpu_hw_setup_v3: SimDuration::from_ns(150),
             rx_notify: SimDuration::from_ns(150),
+            get_req_nios: SimDuration::from_ns(250),
             tx_bit_error_every: None,
             link_retrans: true,
             link_window: 32,

@@ -33,6 +33,15 @@ impl MsgId {
     }
 }
 
+/// Header extension carried by a GET (RDMA-Read) request packet: where
+/// on the *requesting* node the remotely-read bytes must land. The
+/// responder copies it into the `dst_vaddr` of every reply fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetHeader {
+    /// Requester-local virtual address the reply stream writes to.
+    pub reply_vaddr: u64,
+}
+
 /// One packet on the torus.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApePacket {
@@ -49,6 +58,10 @@ pub struct ApePacket {
     /// The fragment data — a refcounted view into the source buffer, so
     /// fragmentation and forwarding never copy payload bytes.
     pub payload: PayloadSlice,
+    /// Present on GET (remote-read) request packets: `dst_vaddr` then
+    /// names the *responder-local* range to read, `msg_len` the length,
+    /// and this header carries the requester-side landing address.
+    pub get: Option<GetHeader>,
     /// Header checksum (set by [`ApePacket::seal`], checked on RX).
     pub crc: u32,
 }
@@ -73,10 +86,42 @@ impl ApePacket {
             dst_vaddr,
             msg_len,
             payload,
+            get: None,
             crc: 0,
         };
         p.crc = p.compute_crc();
         p
+    }
+
+    /// Build and seal a GET (remote-read) request: a header-only packet
+    /// asking the card at `dst` to stream `len` bytes starting at its
+    /// local `src_vaddr` back to `reply_vaddr` on the requesting node.
+    pub fn get_request(
+        dst: Coord,
+        src: Coord,
+        msg: MsgId,
+        src_vaddr: u64,
+        len: u64,
+        reply_vaddr: u64,
+    ) -> Self {
+        let mut p = ApePacket {
+            dst,
+            src,
+            msg,
+            dst_vaddr: src_vaddr,
+            msg_len: len,
+            payload: PayloadSlice::empty(),
+            get: Some(GetHeader { reply_vaddr }),
+            crc: 0,
+        };
+        p.crc = p.compute_crc();
+        p
+    }
+
+    /// True when this packet is a GET request header (no payload; asks
+    /// the destination card to read and stream back local memory).
+    pub fn is_get_request(&self) -> bool {
+        self.get.is_some()
     }
 
     /// Payload length in bytes.
@@ -106,6 +151,16 @@ impl ApePacket {
         crc.update(&self.msg.seq.to_le_bytes());
         crc.update(&self.dst_vaddr.to_le_bytes());
         crc.update(&self.msg_len.to_le_bytes());
+        // The GET discriminator and reply address are header bits too: a
+        // corrupted read-request must fail verification, never silently
+        // turn into (or out of) a write.
+        match self.get {
+            None => crc.update(&[0]),
+            Some(g) => {
+                crc.update(&[1]);
+                crc.update(&g.reply_vaddr.to_le_bytes());
+            }
+        }
         crc.update(&self.payload);
         crc.finish()
     }
@@ -259,6 +314,40 @@ mod tests {
             }
         }
         assert_eq!(fragments(128 * 1024).count(), 32);
+    }
+
+    #[test]
+    fn get_request_is_header_only_and_crc_covered() {
+        let msg = MsgId {
+            src_rank: 3,
+            seq: 11,
+        };
+        let p = ApePacket::get_request(
+            Coord::new(1, 1, 0),
+            Coord::new(0, 0, 0),
+            msg,
+            0x7000_0000_2000,
+            64 * 1024,
+            0x7000_0000_9000,
+        );
+        assert!(p.is_get_request());
+        assert!(p.is_empty());
+        assert_eq!(p.wire_bytes(), APE_PACKET_OVERHEAD);
+        assert!(p.verify());
+        // Every GET-specific header bit is CRC-covered.
+        let mut r = p.clone();
+        r.get = Some(GetHeader {
+            reply_vaddr: 0x7000_0000_9008,
+        });
+        assert!(!r.verify(), "reply_vaddr flip");
+        let mut d = p.clone();
+        d.get = None;
+        assert!(!d.verify(), "GET request must not decay into a write");
+        // And the reverse: a sealed write cannot gain a GET header.
+        let w = ApePacket::new(p.dst, p.src, msg, p.dst_vaddr, 0, vec![]);
+        let mut w2 = w.clone();
+        w2.get = Some(GetHeader { reply_vaddr: 0 });
+        assert!(!w2.verify(), "write must not decay into a GET request");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`TxDesc`]s for the card, charging the host-side driver costs.
 
 use crate::driver::DriverConfig;
-use apenet_core::card::{CardShared, TxDesc};
+use apenet_core::card::{CardShared, GetDesc, TxDesc};
 use apenet_core::coord::Coord;
 use apenet_core::nios::BufKind;
 use apenet_core::packet::MsgId;
@@ -60,6 +60,15 @@ pub enum SrcHint {
 pub struct PutOutcome {
     /// The descriptor to deliver to the card (as `CardIn::TxSubmit`).
     pub desc: TxDesc,
+    /// Host CPU time the call occupied (LogP overhead).
+    pub host_cost: SimDuration,
+}
+
+/// What a successful `get()` returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetOutcome {
+    /// The descriptor to deliver to the card (as `CardIn::GetSubmit`).
+    pub desc: GetDesc,
     /// Host CPU time the call occupied (LogP overhead).
     pub host_cost: SimDuration,
 }
@@ -199,6 +208,60 @@ impl RdmaEndpoint {
                 len,
                 src_addr,
                 src_kind: kind,
+            },
+            host_cost,
+        })
+    }
+
+    /// Enqueue a GET (RDMA-Read) of `len` bytes from `peer_vaddr` on node
+    /// `peer` into local `dst_addr`. The *local destination* must be
+    /// registered so the reply stream matches the BUF_LIST on arrival —
+    /// the call maps it on the fly when not, charging the mapping cost.
+    /// The hint describes the local destination buffer; the remote source
+    /// kind is resolved by the responder's own V2P walk.
+    pub fn get(
+        &mut self,
+        dst_addr: u64,
+        len: u64,
+        peer: Coord,
+        peer_vaddr: u64,
+        hint: SrcHint,
+    ) -> Result<GetOutcome, RdmaError> {
+        let mut host_cost = self.cfg.put_overhead;
+        let kind = match hint {
+            SrcHint::Host => BufKind::Host,
+            SrcHint::Gpu => match self.classify(dst_addr)? {
+                k @ BufKind::Gpu(_) => k,
+                BufKind::Host => return Err(RdmaError::KindMismatch),
+            },
+            SrcHint::Auto => {
+                host_cost += self.cfg.pointer_query;
+                self.classify(dst_addr)?
+            }
+        };
+        if let (SrcHint::Host, BufKind::Host) = (hint, kind) {
+            if self.classify(dst_addr)? != BufKind::Host {
+                return Err(RdmaError::KindMismatch);
+            }
+        }
+        // On-the-fly mapping of unregistered destinations. A full
+        // BUF_LIST surfaces here, before any V2P side effects: no read
+        // request is built and nothing leaves the host.
+        if !self.is_registered(dst_addr, len) {
+            host_cost += self.register(dst_addr, len)?;
+        }
+        let msg = MsgId {
+            src_rank: self.rank,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        Ok(GetOutcome {
+            desc: GetDesc {
+                msg,
+                peer,
+                peer_vaddr,
+                len,
+                local_vaddr: dst_addr,
             },
             host_cost,
         })
@@ -357,6 +420,92 @@ mod tests {
         // Re-registration pays the full cost again (cache was dropped).
         let c = ep.register(h, 4096).unwrap();
         assert!(c >= DriverConfig::default().reg_host);
+    }
+
+    #[test]
+    fn get_builds_descriptor_and_shares_sequence_with_put() {
+        let (mut ep, _cuda, hostmem) = endpoint();
+        let h = hostmem.borrow_mut().alloc(4096).unwrap();
+        ep.register(h, 4096).unwrap();
+        let p = ep
+            .put(h, 1024, Coord::new(1, 0, 0), 0xDEAD_0000, SrcHint::Host)
+            .unwrap();
+        let g = ep
+            .get(h, 4096, Coord::new(1, 0, 0), 0xBEEF_0000, SrcHint::Host)
+            .unwrap();
+        assert_eq!(g.desc.len, 4096);
+        assert_eq!(g.desc.peer, Coord::new(1, 0, 0));
+        assert_eq!(g.desc.peer_vaddr, 0xBEEF_0000);
+        assert_eq!(g.desc.local_vaddr, h);
+        assert!(
+            g.desc.msg.seq > p.desc.msg.seq,
+            "GET and PUT draw from one sequence space"
+        );
+        assert_eq!(g.host_cost, DriverConfig::default().put_overhead);
+    }
+
+    #[test]
+    fn get_maps_unregistered_destination_on_the_fly() {
+        let (mut ep, cuda, _) = endpoint();
+        let g = cuda.borrow_mut().malloc(4096).unwrap();
+        let out = ep
+            .get(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+            .unwrap();
+        assert!(
+            out.host_cost >= DriverConfig::default().reg_gpu,
+            "first GET pays the mapping"
+        );
+        let again = ep
+            .get(g, 4096, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+            .unwrap();
+        assert!(again.host_cost < out.host_cost, "cached afterwards");
+    }
+
+    #[test]
+    fn get_kind_mismatch_and_unknown_pointer_rejected() {
+        let (mut ep, _cuda, hostmem) = endpoint();
+        let h = hostmem.borrow_mut().alloc(4096).unwrap();
+        ep.register(h, 4096).unwrap();
+        assert_eq!(
+            ep.get(h, 64, Coord::new(1, 0, 0), 0, SrcHint::Gpu)
+                .unwrap_err(),
+            RdmaError::KindMismatch
+        );
+        assert_eq!(
+            ep.get(0xBAD, 64, Coord::new(1, 0, 0), 0, SrcHint::Auto)
+                .unwrap_err(),
+            RdmaError::UnknownPointer
+        );
+    }
+
+    #[test]
+    fn get_buf_list_full_fails_before_side_effects() {
+        let (mut ep, _cuda, hostmem) = endpoint();
+        ep.shared
+            .firmware
+            .borrow_mut()
+            .buf_list
+            .set_capacity(Some(1));
+        let a = hostmem.borrow_mut().alloc(4096).unwrap();
+        let b = hostmem.borrow_mut().alloc(4096).unwrap();
+        ep.register(a, 4096).unwrap();
+        // Full BUF_LIST: the GET is rejected with the typed error before
+        // any V2P side effects — nothing registered, no sequence burned.
+        assert_eq!(
+            ep.get(b, 4096, Coord::new(1, 0, 0), 0, SrcHint::Host)
+                .unwrap_err(),
+            RdmaError::BufListFull
+        );
+        assert!(!ep.is_registered(b, 4096));
+        let next = ep
+            .get(a, 4096, Coord::new(1, 0, 0), 0, SrcHint::Host)
+            .unwrap();
+        assert_eq!(next.desc.msg.seq, 0, "failed GET burned no sequence");
+        // Freeing the slot recovers the rejected GET.
+        assert!(ep.deregister(a));
+        ep.get(b, 4096, Coord::new(1, 0, 0), 0, SrcHint::Host)
+            .unwrap();
+        assert!(ep.is_registered(b, 4096));
     }
 
     #[test]

@@ -208,6 +208,16 @@ impl Watchdog {
 pub struct DriverConfig {
     /// Host CPU time per PUT call (descriptor build + doorbell).
     pub put_overhead: SimDuration,
+    /// Descriptor-build share of `put_overhead`: the host cost of
+    /// formatting one WQE into the send queue, paid per descriptor even
+    /// when the doorbell is batched.
+    pub desc_build: SimDuration,
+    /// Doorbell share of `put_overhead`: the MMIO write that kicks the
+    /// card. With doorbell batching one ring covers N descriptors, so
+    /// this is paid once per batch instead of once per post. The split
+    /// must satisfy `desc_build + doorbell_cost == put_overhead`, so a
+    /// batch of one costs exactly the classic per-PUT overhead.
+    pub doorbell_cost: SimDuration,
     /// First-time registration of a host buffer (pinning + HOST_V2P fill).
     pub reg_host: SimDuration,
     /// First-time registration/mapping of a GPU buffer ("buffer mapping
@@ -230,6 +240,8 @@ impl Default for DriverConfig {
     fn default() -> Self {
         DriverConfig {
             put_overhead: SimDuration::from_ns(1000),
+            desc_build: SimDuration::from_ns(150),
+            doorbell_cost: SimDuration::from_ns(850),
             reg_host: SimDuration::from_us(40),
             reg_gpu: SimDuration::from_us(120),
             reg_cache_hit: SimDuration::from_ns(200),
@@ -256,6 +268,10 @@ mod tests {
         // The watchdog must sit far above the link RTO so link-level
         // recovery always gets to finish first.
         assert!(d.watchdog.timeout > SimDuration::from_ms(1));
+        // Doorbell batching splits the classic per-PUT overhead in two;
+        // a batch of one must cost exactly what an unbatched PUT did, or
+        // every pre-batching timing figure silently shifts.
+        assert_eq!(d.desc_build + d.doorbell_cost, d.put_overhead);
     }
 
     #[test]

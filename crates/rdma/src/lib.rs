@@ -15,13 +15,17 @@
 //! * [`staging`] — the P2P=OFF fallback: `cudaMemcpy` bounce-buffer
 //!   staging with chunked pipelining for large messages;
 //! * [`completion`] — completion-queue bookkeeping for PUT/delivery
-//!   events.
+//!   events;
+//! * [`signal`] — `sq_sig_all=0` selective signaling and doorbell
+//!   batching for the send queue.
 
 pub mod api;
 pub mod completion;
 pub mod driver;
+pub mod signal;
 pub mod staging;
 
-pub use api::{PutOutcome, RdmaEndpoint, RdmaError, SrcHint};
+pub use api::{GetOutcome, PutOutcome, RdmaEndpoint, RdmaError, SrcHint};
 pub use completion::CompletionQueue;
 pub use driver::DriverConfig;
+pub use signal::{SendQueue, SignalConfig};

@@ -1,0 +1,641 @@
+//! Selective signaling and doorbell batching for the send queue.
+//!
+//! The production idiom this models (`sq_sig_all = 0`): most WQEs are
+//! posted *unsignaled* and generate no CQE of their own. A signaled WQE
+//! is force-posted when the number of unretired WQEs crosses a
+//! high-water mark; its CQE retires the whole run of unsignaled WQEs
+//! behind it in one reap. Orthogonally, the doorbell MMIO write that
+//! kicks the card is rung once per N descriptors instead of once per
+//! post, amortising the per-PUT host overhead split in
+//! [`DriverConfig::desc_build`]/[`DriverConfig::doorbell_cost`].
+//!
+//! [`SendQueue`] is a host-side bookkeeping model: it decides which
+//! posts are signaled, charges the right host cost per post, and turns
+//! per-message completions (delivered *or* failed — every armed message
+//! terminates one way or the other) into batched CQEs. It is
+//! deliberately tolerant of the chaos plane: completions may arrive out
+//! of order across batches (retransmission reorders them) and more than
+//! once (a watchdog re-issue can complete twice); retirement stays
+//! exactly-once regardless.
+//!
+//! [`DriverConfig::desc_build`]: crate::driver::DriverConfig::desc_build
+//! [`DriverConfig::doorbell_cost`]: crate::driver::DriverConfig::doorbell_cost
+
+use crate::driver::DriverConfig;
+use apenet_core::packet::MsgId;
+use apenet_obs::{Counter, Registry};
+use apenet_sim::SimDuration;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Registry ids for the signaling counters.
+pub mod metrics {
+    /// Signaled WQEs posted (forced by the high-water mark, a flush, or
+    /// `sig_all`).
+    pub const CQ_SIGNALED: &str = "cq.signaled";
+    /// Posts that skipped their own doorbell because a batched ring
+    /// covered them.
+    pub const DOORBELL_BATCHED: &str = "doorbell.batched";
+
+    /// Every signaling id, in reporting order, for the completeness test.
+    pub const ALL: [&str; 2] = [CQ_SIGNALED, DOORBELL_BATCHED];
+}
+
+/// Pre-create the signaling counters at zero so a run that never posts
+/// through a [`SendQueue`] still publishes the full id set.
+pub fn register_metrics(reg: &Registry) {
+    for id in metrics::ALL {
+        let _ = reg.counter(id);
+    }
+}
+
+/// Send-queue moderation tuning.
+#[derive(Debug, Clone)]
+pub struct SignalConfig {
+    /// Signal every WQE (the naive oracle mode). Default off.
+    pub sig_all: bool,
+    /// CQE capacity of the completion queue; unreaped CQEs never exceed
+    /// this (the high-water mark keeps each batch small enough).
+    pub cq_depth: usize,
+    /// Force a signaled WQE when the unretired-WQE count (including the
+    /// one being posted) reaches this mark.
+    pub high_water: usize,
+    /// Ring the doorbell once per this many descriptors.
+    pub doorbell_batch: usize,
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        SignalConfig {
+            sig_all: false,
+            cq_depth: 64,
+            high_water: 16,
+            doorbell_batch: 8,
+        }
+    }
+}
+
+/// What one `post()` did, for host-cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostInfo {
+    /// This WQE carries a completion flag.
+    pub signaled: bool,
+    /// This post rang the doorbell (batch boundary reached).
+    pub doorbell: bool,
+}
+
+impl PostInfo {
+    /// Host CPU time this post occupied: every post builds a
+    /// descriptor; only batch-closing posts pay the doorbell.
+    pub fn host_cost(&self, cfg: &DriverConfig) -> SimDuration {
+        if self.doorbell {
+            cfg.desc_build + cfg.doorbell_cost
+        } else {
+            cfg.desc_build
+        }
+    }
+}
+
+/// One batched completion: the signaled WQE plus every unsignaled WQE
+/// it retires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cqe {
+    /// The signaled WQE that closed the batch.
+    pub signaled: MsgId,
+    /// Every message the CQE retires, in post order (includes
+    /// `signaled` itself).
+    pub retired: Vec<MsgId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Wqe {
+    batch: u64,
+    completed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Batch {
+    members: Vec<MsgId>,
+    completed: usize,
+    /// Set when a signaled WQE closed the batch; open batches never
+    /// emit a CQE (the classic unsignaled-tail foot-gun — flush or
+    /// force-signal the last post).
+    closed_by: Option<MsgId>,
+}
+
+/// Host-side send-queue moderation model.
+#[derive(Debug, Default)]
+pub struct SendQueue {
+    cfg: SignalConfig,
+    wqes: BTreeMap<MsgId, Wqe>,
+    batches: BTreeMap<u64, Batch>,
+    open_batch: u64,
+    next_batch: u64,
+    cq: VecDeque<Cqe>,
+    since_doorbell: usize,
+    /// Lifetime counters, exactly-once by construction.
+    pub posted: u64,
+    /// WQEs retired through reaped CQEs.
+    pub retired: u64,
+    /// Signaled WQEs posted.
+    pub signaled_posts: u64,
+    /// Posts covered by a batched doorbell (did not ring their own).
+    pub doorbells_saved: u64,
+    /// Duplicate `complete()` calls absorbed (watchdog re-issues).
+    pub dup_completions: u64,
+    counters: Option<SignalCounters>,
+}
+
+#[derive(Debug, Clone)]
+struct SignalCounters {
+    signaled: Counter,
+    batched: Counter,
+}
+
+impl SendQueue {
+    /// A send queue with the given moderation tuning.
+    pub fn new(cfg: SignalConfig) -> Self {
+        assert!(cfg.high_water >= 1, "high-water mark must be positive");
+        assert!(cfg.doorbell_batch >= 1, "doorbell batch must be positive");
+        SendQueue {
+            cfg,
+            ..SendQueue::default()
+        }
+    }
+
+    /// Mirror signaling activity into `reg` under the [`metrics`] ids.
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        self.counters = Some(SignalCounters {
+            signaled: reg.counter(metrics::CQ_SIGNALED),
+            batched: reg.counter(metrics::DOORBELL_BATCHED),
+        });
+    }
+
+    /// WQEs posted but not yet retired through a reaped CQE.
+    pub fn outstanding(&self) -> usize {
+        self.wqes.len()
+    }
+
+    /// CQEs emitted but not yet reaped.
+    pub fn cq_occupancy(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// The configured CQE capacity (for reap-cadence policy in callers).
+    pub fn cq_depth(&self) -> usize {
+        self.cfg.cq_depth
+    }
+
+    /// Post one WQE. Signaled when `sig_all`, when `force_signal` (the
+    /// caller's last post of a burst), or when the unretired count
+    /// reaches the high-water mark. Returns what the post did so the
+    /// caller can charge [`PostInfo::host_cost`].
+    pub fn post(&mut self, msg: MsgId, force_signal: bool) -> PostInfo {
+        let occupancy = self.wqes.len() + 1;
+        let signaled = self.cfg.sig_all || force_signal || occupancy >= self.cfg.high_water;
+        let batch_id = self.open_batch;
+        self.wqes.insert(
+            msg,
+            Wqe {
+                batch: batch_id,
+                completed: false,
+            },
+        );
+        let batch = self.batches.entry(batch_id).or_insert_with(|| Batch {
+            members: Vec::new(),
+            completed: 0,
+            closed_by: None,
+        });
+        batch.members.push(msg);
+        self.posted += 1;
+        if signaled {
+            batch.closed_by = Some(msg);
+            self.next_batch += 1;
+            self.open_batch = self.next_batch;
+            self.signaled_posts += 1;
+            if let Some(c) = &self.counters {
+                c.signaled.incr();
+            }
+        }
+        self.since_doorbell += 1;
+        let doorbell = self.since_doorbell >= self.cfg.doorbell_batch;
+        if doorbell {
+            self.since_doorbell = 0;
+        } else {
+            self.doorbells_saved += 1;
+            if let Some(c) = &self.counters {
+                c.batched.incr();
+            }
+        }
+        PostInfo { signaled, doorbell }
+    }
+
+    /// Ring the doorbell for any descriptors still waiting on a batch
+    /// boundary. Returns true when a ring was actually needed (charge
+    /// `doorbell_cost`), false when the last post already rang it.
+    pub fn flush_doorbell(&mut self) -> bool {
+        if self.since_doorbell == 0 {
+            return false;
+        }
+        self.since_doorbell = 0;
+        true
+    }
+
+    /// A message terminated — delivered, or completed with a typed
+    /// error. Both count: every armed message terminates exactly one
+    /// way, so batches always drain. Idempotent: duplicate completions
+    /// (a watchdog re-issue finishing twice) are absorbed and counted.
+    /// When the completion fills a closed batch, its CQE is emitted;
+    /// batches may fill out of order under retransmission and each
+    /// still emits exactly one CQE.
+    pub fn complete(&mut self, msg: &MsgId) {
+        let Some(wqe) = self.wqes.get_mut(msg) else {
+            // Already retired (or never posted): a late duplicate.
+            self.dup_completions += 1;
+            return;
+        };
+        if wqe.completed {
+            self.dup_completions += 1;
+            return;
+        }
+        wqe.completed = true;
+        let batch_id = wqe.batch;
+        let batch = self.batches.get_mut(&batch_id).expect("wqe has a batch");
+        batch.completed += 1;
+        if batch.closed_by.is_some() && batch.completed == batch.members.len() {
+            let batch = self.batches.remove(&batch_id).expect("just seen");
+            for m in &batch.members {
+                self.wqes.remove(m);
+            }
+            self.retired += batch.members.len() as u64;
+            debug_assert!(
+                self.cq.len() < self.cfg.cq_depth,
+                "CQ overflow: reap before posting more"
+            );
+            self.cq.push_back(Cqe {
+                signaled: batch.closed_by.expect("closed"),
+                retired: batch.members,
+            });
+        }
+    }
+
+    /// Drain every emitted CQE. Each reaped CQE costs the caller one
+    /// `completion_poll`; the WQEs it covers were already retired at
+    /// emission time.
+    pub fn reap(&mut self) -> Vec<Cqe> {
+        self.cq.drain(..).collect()
+    }
+
+    /// True when every posted WQE has been retired and reaped — the
+    /// send queue is quiescent.
+    pub fn drained(&self) -> bool {
+        self.wqes.is_empty() && self.cq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(seq: u64) -> MsgId {
+        MsgId { src_rank: 0, seq }
+    }
+
+    /// A deterministic xorshift so corner sweeps can shuffle completion
+    /// order without pulling in a PRNG dependency.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn sig_all_signals_and_retires_every_post() {
+        let mut sq = SendQueue::new(SignalConfig {
+            sig_all: true,
+            ..SignalConfig::default()
+        });
+        for s in 0..10 {
+            let info = sq.post(msg(s), false);
+            assert!(info.signaled);
+        }
+        for s in 0..10 {
+            sq.complete(&msg(s));
+        }
+        let cqes = sq.reap();
+        assert_eq!(cqes.len(), 10, "one CQE per WQE in oracle mode");
+        assert!(cqes.iter().all(|c| c.retired.len() == 1));
+        assert_eq!(sq.retired, 10);
+        assert!(sq.drained());
+    }
+
+    #[test]
+    fn high_water_closes_batches_and_one_cqe_retires_the_run() {
+        let cfg = SignalConfig {
+            sig_all: false,
+            cq_depth: 8,
+            high_water: 4,
+            doorbell_batch: 1,
+        };
+        let mut sq = SendQueue::new(cfg);
+        // Posts 0..2 unsignaled; post 3 hits the mark and closes.
+        let infos: Vec<PostInfo> = (0..4).map(|s| sq.post(msg(s), false)).collect();
+        assert_eq!(
+            infos.iter().filter(|i| i.signaled).count(),
+            1,
+            "only the high-water post is signaled"
+        );
+        assert!(infos[3].signaled);
+        for s in 0..4 {
+            sq.complete(&msg(s));
+        }
+        let cqes = sq.reap();
+        assert_eq!(cqes.len(), 1);
+        assert_eq!(cqes[0].signaled, msg(3));
+        assert_eq!(cqes[0].retired, vec![msg(0), msg(1), msg(2), msg(3)]);
+        assert!(sq.drained());
+    }
+
+    #[test]
+    fn unsignaled_tail_never_retires_until_forced() {
+        let mut sq = SendQueue::new(SignalConfig {
+            high_water: 100,
+            ..SignalConfig::default()
+        });
+        sq.post(msg(0), false);
+        sq.post(msg(1), false);
+        sq.complete(&msg(0));
+        sq.complete(&msg(1));
+        assert!(sq.reap().is_empty(), "open batch emits nothing");
+        assert_eq!(sq.outstanding(), 2);
+        // The classic fix: force-signal the last post of the burst.
+        let info = sq.post(msg(2), true);
+        assert!(info.signaled);
+        sq.complete(&msg(2));
+        let cqes = sq.reap();
+        assert_eq!(cqes.len(), 1);
+        assert_eq!(cqes[0].retired.len(), 3);
+        assert!(sq.drained());
+    }
+
+    #[test]
+    fn duplicate_completions_are_absorbed_exactly_once() {
+        let mut sq = SendQueue::new(SignalConfig::default());
+        sq.post(msg(0), false);
+        sq.post(msg(1), true);
+        // Watchdog re-issue: the unsignaled WQE completes twice, once
+        // before retirement and once after.
+        sq.complete(&msg(0));
+        sq.complete(&msg(0));
+        sq.complete(&msg(1));
+        sq.complete(&msg(0));
+        assert_eq!(sq.dup_completions, 2);
+        let cqes = sq.reap();
+        assert_eq!(cqes.len(), 1);
+        assert_eq!(sq.retired, 2, "dup completions never double-retire");
+        assert!(sq.drained());
+    }
+
+    #[test]
+    fn out_of_order_batches_each_emit_exactly_one_cqe() {
+        let cfg = SignalConfig {
+            high_water: 3,
+            doorbell_batch: 1,
+            ..SignalConfig::default()
+        };
+        let mut sq = SendQueue::new(cfg);
+        for s in 0..6 {
+            sq.post(msg(s), false);
+        }
+        // Posts 0..2 form the first batch (occupancy hits the mark at
+        // 2); with completions lagging, occupancy stays high and every
+        // later post degrades to a signaled single — exactly the
+        // pressure response the mark exists for.
+        // Retransmission reorders completions: the singles land first,
+        // the three-member batch retires last, each batch emits one CQE.
+        for s in [4, 1, 5, 0, 3, 2] {
+            sq.complete(&msg(s));
+        }
+        let cqes = sq.reap();
+        assert_eq!(cqes.len(), 4);
+        let signaled: Vec<MsgId> = cqes.iter().map(|c| c.signaled).collect();
+        assert_eq!(signaled, vec![msg(4), msg(5), msg(3), msg(2)]);
+        assert_eq!(cqes[3].retired, vec![msg(0), msg(1), msg(2)]);
+        assert_eq!(sq.retired, 6);
+        assert!(sq.drained());
+    }
+
+    #[test]
+    fn doorbell_rings_once_per_batch_and_flush_covers_the_tail() {
+        let cfg = SignalConfig {
+            doorbell_batch: 4,
+            high_water: 100,
+            ..SignalConfig::default()
+        };
+        let drv = DriverConfig::default();
+        let mut sq = SendQueue::new(cfg);
+        let mut host = SimDuration::ZERO;
+        for s in 0..10 {
+            host += sq.post(msg(s), false).host_cost(&drv);
+        }
+        if sq.flush_doorbell() {
+            host += drv.doorbell_cost;
+        }
+        // 10 descriptor builds, 3 doorbells (after posts 4 and 8, one
+        // flush for the tail of 2).
+        let expect = drv.desc_build * 10 + drv.doorbell_cost * 3;
+        assert_eq!(host, expect);
+        assert_eq!(sq.doorbells_saved, 8);
+        assert!(!sq.flush_doorbell(), "flush is idempotent");
+        // Batch of one degenerates to the classic per-PUT overhead.
+        let mut unbatched = SendQueue::new(SignalConfig {
+            doorbell_batch: 1,
+            ..SignalConfig::default()
+        });
+        assert_eq!(
+            unbatched.post(msg(0), false).host_cost(&drv),
+            drv.put_overhead
+        );
+    }
+
+    /// The tentpole model test: across every (doorbell batch, CQ depth,
+    /// high-water) corner, with completions arriving in a seeded random
+    /// order and a duplicate completion thrown at every third message,
+    /// no CQE is lost or duplicated — retirement matches the naive
+    /// sig_all oracle run on the same schedule, exactly once.
+    #[test]
+    fn moderation_matches_sig_all_oracle_across_all_corners() {
+        let n: u64 = 48;
+        for &batch in &[1usize, 2, 7, 48, 64] {
+            for &depth in &[1usize, 2, 16, 64] {
+                for &hw in &[1usize, 2, 3, 16, 48, 64] {
+                    if hw > depth {
+                        // The mark must keep batches inside the CQ:
+                        // occupancy-triggered signaling caps unreaped
+                        // CQEs at depth only when hw <= depth.
+                        continue;
+                    }
+                    let mut order: Vec<u64> = (0..n).collect();
+                    let mut rng =
+                        Rng(0x5EED ^ ((batch as u64) << 32 | (depth as u64) << 16 | hw as u64));
+                    for i in (1..order.len()).rev() {
+                        let j = (rng.next() % (i as u64 + 1)) as usize;
+                        order.swap(i, j);
+                    }
+                    let cfg = SignalConfig {
+                        sig_all: false,
+                        cq_depth: depth,
+                        high_water: hw,
+                        doorbell_batch: batch,
+                    };
+                    let mut sq = SendQueue::new(cfg);
+                    let mut oracle = SendQueue::new(SignalConfig {
+                        sig_all: true,
+                        cq_depth: depth.max(n as usize),
+                        high_water: hw,
+                        doorbell_batch: batch,
+                    });
+                    for s in 0..n {
+                        let force = s == n - 1;
+                        sq.post(msg(s), force);
+                        oracle.post(msg(s), force);
+                    }
+                    let mut reaped = 0u64;
+                    let mut cqes = 0u64;
+                    for (i, &s) in order.iter().enumerate() {
+                        sq.complete(&msg(s));
+                        oracle.complete(&msg(s));
+                        if s % 3 == 0 {
+                            sq.complete(&msg(s)); // watchdog double-fire
+                        }
+                        // The poster's contract: reap at the latest when
+                        // the CQ fills (plus a periodic reap to exercise
+                        // partial drains).
+                        if sq.cq_occupancy() >= depth || i % 5 == 4 {
+                            for c in sq.reap() {
+                                cqes += 1;
+                                reaped += c.retired.len() as u64;
+                            }
+                        }
+                        oracle.reap();
+                        assert!(
+                            sq.cq_occupancy() <= depth,
+                            "CQ bounded at depth {depth} (hw {hw})"
+                        );
+                    }
+                    for c in sq.reap() {
+                        cqes += 1;
+                        reaped += c.retired.len() as u64;
+                    }
+                    oracle.reap();
+                    assert_eq!(reaped, n, "every WQE retired exactly once");
+                    assert_eq!(sq.retired, oracle.retired, "matches oracle");
+                    assert!(cqes <= n, "never more CQEs than WQEs");
+                    assert!(sq.drained() && oracle.drained());
+                    assert_eq!(sq.posted, oracle.posted);
+                }
+            }
+        }
+    }
+
+    /// Satellite edge case: the CQ exactly full at the high-water mark —
+    /// hw == depth, every batch is a single signaled WQE once occupancy
+    /// pins at the mark, and reaping at the boundary keeps it legal.
+    #[test]
+    fn cq_exactly_full_at_high_water_mark() {
+        let depth = 4usize;
+        let cfg = SignalConfig {
+            sig_all: false,
+            cq_depth: depth,
+            high_water: depth,
+            doorbell_batch: 1,
+        };
+        let mut sq = SendQueue::new(cfg);
+        let mut retired = 0u64;
+        for s in 0..32u64 {
+            sq.post(msg(s), false);
+            sq.complete(&msg(s));
+            assert!(sq.cq_occupancy() <= depth);
+            if sq.cq_occupancy() == depth {
+                retired += sq
+                    .reap()
+                    .iter()
+                    .map(|c| c.retired.len() as u64)
+                    .sum::<u64>();
+            }
+        }
+        retired += sq
+            .reap()
+            .iter()
+            .map(|c| c.retired.len() as u64)
+            .sum::<u64>();
+        // Batches of exactly hw WQEs retire together, so the CQ fills
+        // to precisely its depth before each boundary reap.
+        assert_eq!(retired + sq.outstanding() as u64, 32);
+        sq.post(msg(32), true);
+        sq.complete(&msg(32));
+        retired += sq
+            .reap()
+            .iter()
+            .map(|c| c.retired.len() as u64)
+            .sum::<u64>();
+        assert_eq!(retired, 33);
+        assert!(sq.drained());
+    }
+
+    /// Satellite edge case: the signaled WQE itself is "dropped" — its
+    /// completion arrives only after a retransmission delay, long after
+    /// the unsignaled WQEs it covers. Nothing retires early, everything
+    /// retires once.
+    #[test]
+    fn dropped_signaled_wqe_retires_late_but_exactly_once() {
+        let cfg = SignalConfig {
+            high_water: 4,
+            doorbell_batch: 1,
+            ..SignalConfig::default()
+        };
+        let mut sq = SendQueue::new(cfg);
+        for s in 0..4 {
+            sq.post(msg(s), false);
+        }
+        // Unsignaled members complete; the signaled one (3) is lost.
+        for s in 0..3 {
+            sq.complete(&msg(s));
+        }
+        assert!(sq.reap().is_empty(), "no CQE until the signaled WQE lands");
+        assert_eq!(sq.outstanding(), 4);
+        // Retransmission finally completes it — twice (the original and
+        // the replay both report).
+        sq.complete(&msg(3));
+        sq.complete(&msg(3));
+        let cqes = sq.reap();
+        assert_eq!(cqes.len(), 1);
+        assert_eq!(cqes[0].retired.len(), 4);
+        assert_eq!(sq.dup_completions, 1);
+        assert!(sq.drained());
+    }
+
+    #[test]
+    fn attached_registry_mirrors_signaling() {
+        let reg = Registry::new();
+        register_metrics(&reg);
+        let mut sq = SendQueue::new(SignalConfig {
+            high_water: 2,
+            doorbell_batch: 4,
+            ..SignalConfig::default()
+        });
+        sq.attach_metrics(&reg);
+        for s in 0..4 {
+            sq.post(msg(s), false);
+        }
+        let snap = reg.counters();
+        assert_eq!(snap.get(metrics::CQ_SIGNALED), sq.signaled_posts);
+        assert_eq!(snap.get(metrics::DOORBELL_BATCHED), sq.doorbells_saved);
+        assert_eq!(snap.get(metrics::DOORBELL_BATCHED), 3);
+    }
+}

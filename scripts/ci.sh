@@ -43,7 +43,15 @@ echo "==> chaos soak (APENET_CHAOS_CASES=${APENET_CHAOS_CASES:-512} seeded fault
 APENET_CHAOS_CASES="${APENET_CHAOS_CASES:-512}" \
     cargo test --release --offline -q -p apenet-cluster --test chaos
 
+echo "==> GET chaos soak (one-sided reads + selective signaling under the same schedules)"
+APENET_CHAOS_CASES="${APENET_CHAOS_CASES:-512}" \
+    cargo test --release --offline -q -p apenet-cluster --test get_chaos
+
 echo "==> hard-fault soak (link kills, partitions, RX-ring exhaustion)"
 cargo test --release --offline -q -p apenet-cluster --test hard_faults
+
+echo "==> deterministic GET sweep (doorbell-batch saturation matches committed)"
+cargo run --release --offline -q -p apenet-bench --bin get-sweep
+git diff --exit-code -- results/get_sweep.txt
 
 echo "==> ci.sh: all green"
